@@ -1,0 +1,39 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each benchmark file regenerates one table or figure of the paper at a
+scaled-down geometry (see DESIGN.md), prints the reproduced rows/series,
+and asserts the paper's qualitative shape.  pytest-benchmark records the
+wall time of each experiment; the simulated-time metrics are attached as
+``extra_info`` and printed to stdout (run with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ArrayScale
+from repro.units import KiB, MiB
+
+#: Geometry used by the microbenchmark figures: 5 devices, 13 data zones
+#: of 2 MiB per device → a 104 MiB RAIZN volume.  Large enough for the
+#: effects (parity logging, stripe cache, GC) to appear, small enough for
+#: every figure to regenerate in seconds.
+BENCH_SCALE = ArrayScale(num_zones=16, zone_capacity=2 * MiB)
+
+#: Block sizes swept by Figures 7–9 (paper: 4 KiB – 1 MiB).
+BENCH_BLOCK_SIZES = (4 * KiB, 64 * KiB, 256 * KiB, 1 * MiB)
+
+
+@pytest.fixture
+def print_rows(capsys):
+    """Print a results table even under pytest's output capture."""
+    def emit(title: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(text)
+    return emit
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

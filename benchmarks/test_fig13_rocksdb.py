@@ -1,0 +1,43 @@
+"""Figure 13 (Observation 5): RocksDB (db_bench) on F2FS, RAIZN vs
+mdraid, at 4000- and 8000-byte values.
+
+Paper shape: RAIZN achieves throughput and p99 tail latency within ~10%
+of mdraid across fillseq, fillrandom, overwrite, and readwhilewriting
+(we allow a wider band at simulation scale).
+"""
+
+from repro.harness import (
+    ArrayScale,
+    format_table,
+    normalized_to_mdraid,
+    rocksdb_comparison,
+)
+from repro.units import MiB
+
+from conftest import run_once
+
+# Large enough that the database and its compaction churn fit
+# comfortably, as the paper's 2 TB arrays do; otherwise FTL GC
+# (the Figure 10 effect) leaks into this comparison.
+DB_SCALE = ArrayScale(num_zones=35, zone_capacity=2 * MiB)
+
+
+def test_fig13_rocksdb(benchmark, print_rows):
+    cells = run_once(benchmark, lambda: rocksdb_comparison(
+        value_sizes=(4000, 8000), num_ops=2000, scale=DB_SCALE))
+    print_rows("Figure 13: RocksDB db_bench", format_table(
+        ["system", "workload", "value B", "ops/s", "p99 ms"],
+        [[c.system, c.workload, c.value_size, round(c.ops_per_second),
+          round(c.p99_latency * 1e3, 3)] for c in cells]))
+    ratios = normalized_to_mdraid(cells)
+    print_rows("Figure 13 normalized (RAIZN / mdraid)", format_table(
+        ["workload/value", "throughput ratio", "p99 ratio"],
+        [[key, round(ratios["throughput"][key], 3),
+          round(ratios["p99"].get(key, float("nan")), 3)]
+         for key in sorted(ratios["throughput"])]))
+
+    # RAIZN stays in mdraid's ballpark on every workload/value size.
+    for key, ratio in ratios["throughput"].items():
+        assert ratio > 0.6, (key, ratio)
+    benchmark.extra_info["throughput_ratios"] = {
+        k: round(v, 3) for k, v in ratios["throughput"].items()}

@@ -1,0 +1,33 @@
+"""Figure 14: sysbench OLTP (MyRocks-style) on RAIZN vs mdraid.
+
+Paper shape: RAIZN performs within error or better than mdraid on TPS,
+average latency, and p95 latency across oltp_read_only, oltp_write_only,
+and oltp_read_write at both thread counts.
+"""
+
+from repro.harness import ArrayScale, format_table, sysbench_comparison
+from repro.units import MiB
+
+from conftest import run_once
+
+OLTP_SCALE = ArrayScale(num_zones=19, zone_capacity=2 * MiB)
+
+
+def test_fig14_sysbench(benchmark, print_rows):
+    cells = run_once(benchmark, lambda: sysbench_comparison(
+        thread_counts=(64, 128), transactions=256, tables=4, rows=1500,
+        scale=OLTP_SCALE))
+    print_rows("Figure 14: sysbench OLTP", format_table(
+        ["system", "workload", "threads", "TPS", "avg ms", "p95 ms"],
+        [[c.system, c.workload, c.threads, round(c.tps),
+          round(c.avg_latency * 1e3, 2), round(c.p95_latency * 1e3, 2)]
+         for c in cells]))
+
+    by_key = {}
+    for cell in cells:
+        by_key.setdefault((cell.workload, cell.threads), {})[
+            cell.system] = cell
+    for (workload, threads), pair in by_key.items():
+        ratio = pair["raizn"].tps / pair["mdraid"].tps
+        assert ratio > 0.6, (workload, threads, ratio)
+    benchmark.extra_info["pairs"] = len(by_key)

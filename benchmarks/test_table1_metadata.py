@@ -1,0 +1,28 @@
+"""Table 1: location and size of RAIZN metadata (paper §4.3).
+
+Regenerates the table from real encoded metadata entries and a live
+volume; checks the storage-per-update numbers the paper reports.
+"""
+
+from repro.harness import format_table, measured_entry_sizes, table1_rows
+from repro.units import KiB
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_table1_metadata(benchmark, print_rows):
+    rows = run_once(benchmark, lambda: table1_rows(BENCH_SCALE))
+    print_rows("Table 1: RAIZN metadata", format_table(
+        ["Metadata type", "Persistent location", "Storage per update",
+         "Memory footprint"],
+        [[r.metadata_type, r.persistent_location, r.storage_per_update,
+          r.memory_footprint] for r in rows]))
+
+    sizes = measured_entry_sizes()
+    # Paper: every metadata update carries a 4 KiB header; stripe-unit
+    # payloads add their sector-padded size.
+    assert sizes["zone_reset"] == 4 * KiB
+    assert sizes["generation"] == 4 * KiB
+    assert sizes["relocated_su"] == 4 * KiB + 64 * KiB
+    assert sizes["partial_parity_full"] == 4 * KiB + 64 * KiB
+    benchmark.extra_info["entry_sizes"] = sizes

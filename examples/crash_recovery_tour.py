@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""A tour of RAIZN's ZNS crash-consistency machinery (paper §5).
+
+Demonstrates, with real byte-level verification, the edge cases that make
+RAID-on-ZNS hard and how RAIZN solves each one:
+
+1. *Partial stripe writes* — a crash persists only some stripe units;
+   recovery repairs the hole from partial-parity logs, or rolls the zone
+   back and relocates future conflicting writes (Figure 1).
+2. *Zone reset atomicity* — a crash between per-device resets leaves the
+   logical zone half-reset; the zone-reset write-ahead log finishes the
+   job at mount time (§5.2).
+3. *FUA persistence* — an acknowledged FUA write is never lost, and
+   everything before it in the zone stays readable (§5.3, Figure 6).
+4. *Generation counters* — metadata from a previous life of a zone is
+   ignored after the zone is reset and rewritten (§4.3).
+
+Run:  python examples/crash_recovery_tour.py
+"""
+
+import random
+
+from repro.block import Bio, BioFlags
+from repro.faults import power_cycle
+from repro.raizn import RaiznConfig, RaiznVolume, mount
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+from repro.zns import ZNSDevice
+
+
+def fresh_array(sim, seed=0):
+    devices = [
+        ZNSDevice(sim, name=f"zns{i}", num_zones=12, zone_capacity=1 * MiB,
+                  seed=seed + i)
+        for i in range(5)
+    ]
+    return RaiznVolume.create(
+        sim, devices, RaiznConfig(num_data=4, stripe_unit_bytes=64 * KiB)
+    ), devices
+
+
+def payload(n, seed):
+    return random.Random(seed).randbytes(n)
+
+
+def partial_stripe_write() -> None:
+    print("1) partial stripe write ".ljust(60, "-"))
+    sim = Simulator()
+    volume, devices = fresh_array(sim)
+    data = payload(6 * 256 * KiB, seed=1)      # six full stripes
+    volume.execute(Bio.write(0, data))          # ...never flushed
+    power_cycle(devices, random.Random(7))      # arbitrary cache loss
+    volume = mount(sim, devices)
+    wp = volume.zone_info(0).write_pointer
+    survived = volume.execute(Bio.read(0, wp)).result if wp else b""
+    assert survived == data[:wp]
+    print(f"   crash after 1.5 MiB of unflushed writes -> recovered a "
+          f"consistent {wp // KiB} KiB prefix")
+    more = payload(256 * KiB, seed=2)
+    volume.execute(Bio.write(wp, more))
+    assert volume.execute(Bio.read(wp, len(more))).result == more
+    print(f"   continued writing over the hidden stale region "
+          f"({len(volume.relocations)} stripe units relocated to "
+          f"metadata zones)")
+
+
+def partial_zone_reset() -> None:
+    print("2) partial zone reset ".ljust(60, "-"))
+    sim = Simulator()
+    volume, devices = fresh_array(sim, seed=10)
+    volume.execute(Bio.write(0, payload(512 * KiB, seed=3)))
+    volume.execute(Bio.flush())
+    # Log the reset intent the way the volume would, then "crash" after
+    # only two of the five physical zones were reset.
+    from repro.raizn.mdzone import MetadataRole
+    from repro.raizn.metadata import encode_zone_reset
+    layout = volume.mapper.stripe_layout(0, 0)
+    for device_index in {layout.data_devices[0], layout.parity_device}:
+        sim.run_process(volume.mdzones[device_index].append(
+            MetadataRole.GENERAL,
+            encode_zone_reset(0, volume.zone_descs[0].write_pointer,
+                              volume.generation[0]), fua=True))
+    devices[0].execute(Bio.zone_reset(0))
+    devices[3].execute(Bio.zone_reset(0))
+    power_cycle(devices, random.Random(11))
+    volume = mount(sim, devices)
+    info = volume.zone_info(0)
+    assert info.write_pointer == 0 and info.state.name == "EMPTY"
+    print("   crash with 2/5 physical zones reset -> WAL replay finished "
+          "the reset at mount; logical zone is cleanly EMPTY")
+
+
+def fua_persistence() -> None:
+    print("3) FUA write persistence ".ljust(60, "-"))
+    sim = Simulator()
+    volume, devices = fresh_array(sim, seed=20)
+    head = payload(256 * KiB, seed=4)           # one stripe, not flushed
+    volume.execute(Bio.write(0, head))
+    tail = payload(8 * KiB, seed=5)
+    volume.execute(Bio.write(len(head), tail,
+                             BioFlags.FUA | BioFlags.PREFLUSH))
+    power_cycle(devices, random.Random(13))
+    volume = mount(sim, devices)
+    everything = volume.execute(Bio.read(0, len(head) + len(tail))).result
+    assert everything == head + tail
+    print("   the FUA write AND every byte before it in the zone "
+          "survived the crash (persistence bitmap + flush fan-out)")
+
+
+def generation_counters() -> None:
+    print("4) generation counters ".ljust(60, "-"))
+    sim = Simulator()
+    volume, devices = fresh_array(sim, seed=30)
+    volume.execute(Bio.write(0, payload(128 * KiB, seed=6)))
+    generation = volume.generation[0]
+    volume.execute(Bio.zone_reset(0))
+    fresh = payload(256 * KiB, seed=7)
+    volume.execute(Bio.write(0, fresh))
+    volume.execute(Bio.flush())
+    volume = mount(sim, devices)
+    assert volume.execute(Bio.read(0, len(fresh))).result == fresh
+    assert volume.generation[0] > generation
+    print(f"   old partial-parity/reset logs (generation {generation}) "
+          f"ignored; zone now at generation {volume.generation[0]}")
+
+
+def main() -> None:
+    partial_stripe_write()
+    partial_zone_reset()
+    fua_persistence()
+    generation_counters()
+    print("tour complete: every §5 edge case verified byte-for-byte.")
+
+
+if __name__ == "__main__":
+    main()

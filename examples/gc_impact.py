@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The paper's headline result (Figure 10): device GC vs host GC.
+
+Runs the full-device overwrite benchmark on both arrays:
+
+* phase 1 — five threads fill the array, each writing a disjoint 20% of
+  the address space (this interleaves five streams into the conventional
+  SSDs' erase blocks);
+* phase 2 — one thread sequentially overwrites everything.
+
+On mdraid, the conventional SSDs run out of overprovisioned blocks and
+their on-device garbage collection steals bandwidth — throughput
+collapses and recovers only as the overwrite invalidates old blocks.  On
+RAIZN, the host resets each zone before rewriting it; there is no device
+GC and throughput stays flat.
+
+Run:  python examples/gc_impact.py
+"""
+
+from repro.harness import (
+    ArrayScale,
+    format_series_table,
+    run_gc_timeseries,
+    throughput_vs_progress,
+)
+from repro.harness.results import Series
+from repro.units import KiB, MiB
+
+SCALE = ArrayScale(num_zones=19, zone_capacity=4 * MiB)
+
+
+def main() -> None:
+    print("running the two-phase overwrite on mdraid "
+          "(conventional SSDs + FTL GC)...")
+    mdraid = run_gc_timeseries("mdraid", scale=SCALE, block_size=256 * KiB)
+    print("running it on RAIZN (ZNS SSDs, host-controlled resets)...")
+    raizn = run_gc_timeseries("raizn", scale=SCALE, block_size=256 * KiB)
+
+    print("\nphase-2 throughput as the overwrite progresses:")
+    print(format_series_table(
+        [Series("mdraid", throughput_vs_progress(mdraid, points=10)),
+         Series("RAIZN", throughput_vs_progress(raizn, points=10))],
+        "fraction overwritten", "MiB/s", buckets=10))
+
+    print(f"""
+summary
+-------
+mdraid: phase-1 mean {mdraid.phase1_mean_mib_s:7.0f} MiB/s
+        phase-2 worst {mdraid.phase2_min_mib_s:6.0f} MiB/s  """
+          f"""(a {mdraid.throughput_drop * 100:.0f}% collapse)
+        write amplification reported by the FTLs drives the loss
+RAIZN:  phase-1 mean {raizn.phase1_mean_mib_s:7.0f} MiB/s
+        phase-2 mean  {raizn.phase2_mean_mib_s:6.0f} MiB/s  (flat)
+
+paper (Observation 3): "on-device garbage collection can reduce
+throughput by up to 93% ... while RAIZN is not affected due to the
+absence of on-device garbage collection."
+""")
+
+
+if __name__ == "__main__":
+    main()

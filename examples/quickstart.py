@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: create a RAIZN array, do IO, survive failures.
+
+Walks through the library's core API in five minutes:
+
+1. build five simulated ZNS SSDs and format them into a RAIZN volume;
+2. write and read data through the logical ZNS interface;
+3. use FUA for durability, then power-fail the whole array and remount;
+4. fail a device, keep serving reads (degraded mode), and rebuild.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.block import Bio, BioFlags
+from repro.faults import fresh_replacement, power_cycle
+from repro.raizn import RaiznConfig, RaiznVolume, mount, rebuild
+from repro.sim import Simulator
+from repro.units import KiB, MiB, fmt_bytes
+from repro.zns import ZNSDevice
+
+
+def main() -> None:
+    sim = Simulator()
+
+    # -- 1. Five ZNS SSDs, formatted as a D=4 + P=1 RAIZN array -----------
+    devices = [
+        ZNSDevice(sim, name=f"zns{i}", num_zones=16, zone_capacity=4 * MiB,
+                  seed=i)
+        for i in range(5)
+    ]
+    volume = RaiznVolume.create(
+        sim, devices, RaiznConfig(num_data=4, stripe_unit_bytes=64 * KiB))
+    print(f"RAIZN volume: {fmt_bytes(volume.capacity)} usable, "
+          f"{volume.num_zones} logical zones of "
+          f"{fmt_bytes(volume.zone_capacity)}")
+
+    # -- 2. It behaves like one big ZNS device -----------------------------
+    payload = random.Random(0).randbytes(1 * MiB)
+    volume.execute(Bio.write(0, payload))
+    readback = volume.execute(Bio.read(0, len(payload))).result
+    assert readback == payload
+    print(f"wrote and read back {fmt_bytes(len(payload))} "
+          f"(zone 0 write pointer now at "
+          f"{fmt_bytes(volume.zone_info(0).write_pointer)})")
+
+    # -- 3. Durability: FUA write, then a power failure --------------------
+    volume.execute(Bio.write(len(payload), b"precious!" + bytes(4087),
+                             BioFlags.FUA | BioFlags.PREFLUSH))
+    print("FUA write acknowledged; cutting power on all five devices...")
+    power_cycle(devices, random.Random(42))
+    volume = mount(sim, devices)
+    recovered = volume.execute(Bio.read(len(payload), 4 * KiB)).result
+    assert recovered.startswith(b"precious!")
+    print(f"remounted; FUA data intact, write pointer recovered at "
+          f"{fmt_bytes(volume.zone_info(0).write_pointer)}")
+
+    # -- 4. Device failure, degraded reads, rebuild ------------------------
+    volume.fail_device(2)
+    degraded = volume.execute(Bio.read(0, len(payload))).result
+    assert degraded == payload
+    print("device 2 failed; reads served degraded via parity")
+
+    replacement = fresh_replacement(sim, devices[0], name="replacement")
+    report = rebuild(sim, volume, 2, replacement)
+    print(f"rebuilt {fmt_bytes(report.bytes_written)} onto the replacement "
+          f"in {report.duration * 1e3:.2f} simulated ms "
+          f"(only written data is rebuilt — empty zones are skipped)")
+    assert volume.execute(Bio.read(0, len(payload))).result == payload
+    print("array redundancy restored. done!")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Time-to-repair (Figure 12): the ZNS rebuild advantage.
+
+RAIZN knows exactly which addresses hold valid data (each zone's write
+pointer), so it rebuilds a replaced device zone by zone, only up to each
+logical zone's write pointer.  mdraid has no idea which blocks are live
+and resyncs the *entire* address space, so its repair time is constant.
+
+This example sweeps the array fill level and prints both curves.
+
+Run:  python examples/rebuild_ttr.py
+"""
+
+from repro.harness import ArrayScale, format_table, mdraid_ttr, raizn_ttr
+from repro.units import MiB
+
+SCALE = ArrayScale(num_zones=35, zone_capacity=2 * MiB)
+FRACTIONS = (0.125, 0.25, 0.5, 0.75, 1.0)
+
+
+def main() -> None:
+    rows = []
+    print("sweeping fill level; each point fills a fresh array, fails "
+          "device 0, and rebuilds onto a blank replacement...")
+    for fraction in FRACTIONS:
+        raizn = raizn_ttr(fraction, SCALE)
+        mdraid = mdraid_ttr(fraction, SCALE)
+        rows.append([
+            f"{fraction * 100:.1f}%",
+            raizn.valid_bytes // MiB,
+            round(raizn.ttr_seconds * 1e3, 2),
+            raizn.bytes_rebuilt // MiB,
+            round(mdraid.ttr_seconds * 1e3, 2),
+            mdraid.bytes_rebuilt // MiB,
+        ])
+    print()
+    print(format_table(
+        ["fill", "valid MiB", "RAIZN TTR ms", "RAIZN rebuilt MiB",
+         "mdraid TTR ms", "mdraid rebuilt MiB"], rows))
+    print("""
+paper (Observation 4): "RAIZN's TTR scales with the amount of data
+rebuilt ... mdraid always rebuilds the entire address space, resulting
+in the same TTR regardless of the amount of valid data present."
+Both systems meet at 100% fill, bottlenecked by the replacement
+device's write throughput.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` works where PEP 517 editable
+builds are available; this shim lets `python setup.py develop` work too.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""RAIZN reproduction: Redundant Array of Independent Zoned Namespaces.
+
+A full-system reproduction of Kim et al., *RAIZN: Redundant Array of
+Independent Zoned Namespaces* (ASPLOS 2023), on a simulated substrate:
+
+* :mod:`repro.sim` — discrete-event simulation kernel;
+* :mod:`repro.zns` — ZNS SSD simulator (zone state machine, write
+  pointers, append, flush/FUA, power-loss semantics);
+* :mod:`repro.conv` — conventional SSD with page-mapped FTL and
+  on-device garbage collection;
+* :mod:`repro.block` — bios, flags, and the device service-time model;
+* :mod:`repro.raizn` — **the paper's contribution**: the RAIZN logical
+  volume manager;
+* :mod:`repro.mdraid` — the RAID-5 baseline the paper compares against;
+* :mod:`repro.apps` — F2FS-like filesystem, RocksDB-like LSM store,
+  db_bench and sysbench drivers;
+* :mod:`repro.workloads` — fio-style job runner and the overwrite
+  benchmark;
+* :mod:`repro.faults` — power-loss and device-failure injection;
+* :mod:`repro.harness` — one experiment driver per paper table/figure.
+
+Quickstart::
+
+    from repro.sim import Simulator
+    from repro.harness import make_raizn
+    from repro.block import Bio
+
+    sim = Simulator()
+    volume, devices = make_raizn(sim)
+    volume.execute(Bio.write(0, b"hello zns world!" * 256))
+    print(volume.execute(Bio.read(0, 4096)).result[:16])
+"""
+
+__version__ = "1.0.0"
+
+from . import units
+from .errors import ReproError
+
+__all__ = ["units", "ReproError", "__version__"]

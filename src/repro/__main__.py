@@ -1,0 +1,8 @@
+"""``python -m repro`` — run the paper-reproduction experiments."""
+
+import sys
+
+from .harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

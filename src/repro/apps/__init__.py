@@ -1,0 +1,21 @@
+"""Application substrates: F2FS-like filesystem, LSM KV store, db_bench
+and sysbench-style drivers."""
+
+from .dbbench import DbBenchResult, db_bench, make_key
+from .f2fs import F2FS, F2FSError
+from .lsm import LSMTree, SSTable
+from .oltp import OltpResult, prepare_tables, row_key, run_oltp
+
+__all__ = [
+    "DbBenchResult",
+    "db_bench",
+    "make_key",
+    "F2FS",
+    "F2FSError",
+    "LSMTree",
+    "SSTable",
+    "OltpResult",
+    "prepare_tables",
+    "row_key",
+    "run_oltp",
+]

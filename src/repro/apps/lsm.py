@@ -1,0 +1,304 @@
+"""An LSM-tree key-value store in the mold of RocksDB (paper §6.3).
+
+Implements the parts of RocksDB that determine the IO pattern db_bench
+exercises on the array: a write-ahead log, an in-memory memtable flushed
+to sorted, immutable SSTable files, levelled compaction that rewrites
+overlapping tables, and point reads that consult the memtable, then each
+level.  Files live on the :class:`~repro.apps.f2fs.F2FS` filesystem, so
+the store runs identically on RAIZN and mdraid volumes.
+
+Like the paper's RocksDB configuration, reads and compaction bypass any
+page cache (every get is device IO unless served by the memtable), and
+flush/compaction writes are large and sequential.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Tuple
+
+from ..sim import Simulator
+from ..units import KiB, MiB
+from .f2fs import F2FS
+
+#: Tombstone marker distinguishing deletes from values.
+_TOMBSTONE = object()
+
+
+@dataclasses.dataclass
+class SSTable:
+    """One immutable sorted table: file on disk + in-memory index."""
+
+    name: str
+    level: int
+    #: key -> (file offset, length); None length encodes a tombstone.
+    index: Dict[bytes, Tuple[int, int]]
+    min_key: bytes
+    max_key: bytes
+    data_bytes: int
+
+    def overlaps(self, other: "SSTable") -> bool:
+        return self.min_key <= other.max_key and other.min_key <= self.max_key
+
+    def covers(self, key: bytes) -> bool:
+        return self.min_key <= key <= self.max_key
+
+
+class LSMTree:
+    """RocksDB-like store; all data-path methods are process generators."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fs: F2FS,
+        name: str = "db",
+        memtable_bytes: int = 4 * MiB,
+        l0_compaction_trigger: int = 4,
+        level_base_bytes: int = 16 * MiB,
+        level_multiplier: int = 4,
+        max_levels: int = 5,
+        sync_writes: bool = False,
+        write_chunk: int = 1 * MiB,
+    ):
+        self.sim = sim
+        self.fs = fs
+        self.name = name
+        self.memtable_bytes = memtable_bytes
+        self.l0_trigger = l0_compaction_trigger
+        self.level_base_bytes = level_base_bytes
+        self.level_multiplier = level_multiplier
+        self.sync_writes = sync_writes
+        self.write_chunk = write_chunk
+        self.memtable: Dict[bytes, object] = {}
+        self.memtable_size = 0
+        #: Buffered WAL bytes not yet written to the filesystem.  RocksDB
+        #: WAL writes go through the page cache (the paper enables direct
+        #: IO only for flush and compaction), so records reach the array
+        #: in buffered batches unless sync_writes forces them down.
+        self.wal_buffer_bytes = 64 * KiB
+        self._wal_pending = 0
+        self.levels: List[List[SSTable]] = [[] for _ in range(max_levels)]
+        self._file_seq = 0
+        self._wal_path = f"{name}/wal.0"
+        self._wal_seq = 0
+        fs.create(self._wal_path)
+        # Counters for reporting.
+        self.puts = 0
+        self.gets = 0
+        self.flushes = 0
+        self.compactions = 0
+        self.compaction_bytes = 0
+
+    # -- public API -----------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes):
+        """Process-style insert/update."""
+        yield from self._write(key, value)
+
+    def delete(self, key: bytes):
+        """Process-style delete (writes a tombstone)."""
+        yield from self._write(key, _TOMBSTONE)
+
+    def get(self, key: bytes):
+        """Process-style point lookup; returns the value or None."""
+        self.gets += 1
+        if key in self.memtable:
+            value = self.memtable[key]
+            return None if value is _TOMBSTONE else value
+        for table in reversed(self.levels[0]):  # newest L0 first
+            found = yield from self._table_get(table, key)
+            if found is not None:
+                return found[0]
+        for level in self.levels[1:]:
+            for table in level:
+                if table.covers(key):
+                    found = yield from self._table_get(table, key)
+                    if found is not None:
+                        return found[0]
+        return None
+
+    def scan(self, start_key: bytes, count: int):
+        """Process-style range scan: ``count`` keys from ``start_key``.
+
+        Collects candidates from every table whose range may contain them
+        (LSM scans read from all levels), returning merged newest-first
+        results.
+        """
+        keys = set(k for k in self.memtable if k >= start_key)
+        for level in self.levels:
+            for table in level:
+                if table.max_key >= start_key:
+                    keys.update(k for k in table.index if k >= start_key)
+        out = []
+        for key in sorted(keys)[:count]:
+            value = yield from self.get(key)
+            if value is not None:
+                out.append((key, value))
+        return out
+
+    def commit(self):
+        """Process-style durable commit: drain and fsync the WAL.
+
+        Used by transactional engines (MyRocks) at COMMIT time; db_bench
+        style workloads rely on buffered WAL writes instead.
+        """
+        yield from self._drain_wal()
+        yield from self.fs.fsync(self._wal_path)
+
+    def flush(self):
+        """Process-style: persist the memtable as an L0 SSTable."""
+        if not self.memtable:
+            return None
+        table = yield from self._write_sstable(
+            sorted(self.memtable.items()), level=0)
+        self.levels[0].append(table)
+        self.memtable = {}
+        self.memtable_size = 0
+        self.flushes += 1
+        yield from self._rotate_wal()
+        yield from self._maybe_compact()
+        return table.name
+
+    # -- write path -------------------------------------------------------------------
+
+    def _write(self, key: bytes, value):
+        record_len = len(key) + (0 if value is _TOMBSTONE else len(value)) + 16
+        self._wal_pending += record_len
+        if self.sync_writes:
+            yield from self._drain_wal()
+            yield from self.fs.fsync(self._wal_path)
+        elif self._wal_pending >= self.wal_buffer_bytes:
+            yield from self._drain_wal()
+        self.memtable[key] = value
+        self.memtable_size += record_len
+        self.puts += 1
+        if self.memtable_size >= self.memtable_bytes:
+            yield from self.flush()
+
+    def _drain_wal(self):
+        """Write the buffered WAL bytes to the filesystem."""
+        pending, self._wal_pending = self._wal_pending, 0
+        if pending:
+            yield from self.fs.append(self._wal_path, bytes(pending))
+
+    def _rotate_wal(self):
+        yield from self._drain_wal()
+        old = self._wal_path
+        self._wal_seq += 1
+        self._wal_path = f"{self.name}/wal.{self._wal_seq}"
+        self.fs.create(self._wal_path)
+        yield from self.fs.delete(old)
+
+    def _write_sstable(self, items: Iterable[Tuple[bytes, object]],
+                       level: int):
+        """Serialize sorted items into a new table file."""
+        self._file_seq += 1
+        path = f"{self.name}/sst.{self._file_seq:06d}"
+        self.fs.create(path)
+        index: Dict[bytes, Tuple[int, int]] = {}
+        buffer = bytearray()
+        offset = 0
+        min_key = max_key = None
+        for key, value in items:
+            if min_key is None:
+                min_key = key
+            max_key = key
+            if value is _TOMBSTONE:
+                index[key] = (offset, -1)
+            else:
+                index[key] = (offset, len(value))
+                buffer.extend(value)
+                offset += len(value)
+            if len(buffer) >= self.write_chunk:
+                # Flush whole sectors only, so file offsets keep matching
+                # data offsets (F2FS pads each append to a sector).
+                aligned = len(buffer) - len(buffer) % 4096
+                yield from self.fs.append(path, bytes(buffer[:aligned]))
+                del buffer[:aligned]
+        if buffer:
+            yield from self.fs.append(path, bytes(buffer))
+        yield from self.fs.fsync(path)
+        if min_key is None:
+            min_key = max_key = b""
+        return SSTable(name=path, level=level, index=index,
+                       min_key=min_key, max_key=max_key, data_bytes=offset)
+
+    def _table_get(self, table: SSTable, key: bytes):
+        """Returns ``(value,)`` / ``(None,)`` for tombstone, or None if absent."""
+        entry = table.index.get(key)
+        if entry is None:
+            return None
+        offset, length = entry
+        if length < 0:
+            return (None,)  # tombstone: key was deleted
+        if length == 0:
+            return (b"",)
+        data = yield from self.fs.read(table.name, offset, length)
+        return (data[:length],)
+
+    # -- compaction ------------------------------------------------------------------------
+
+    def _maybe_compact(self):
+        if len(self.levels[0]) > self.l0_trigger:
+            yield from self._compact_level(0)
+        limit = self.level_base_bytes
+        for level in range(1, len(self.levels) - 1):
+            if sum(t.data_bytes for t in self.levels[level]) > limit:
+                yield from self._compact_level(level)
+            limit *= self.level_multiplier
+
+    def _compact_level(self, level: int):
+        """Merge level ``level`` into ``level + 1`` (RocksDB-style)."""
+        if level == 0:
+            upper = list(self.levels[0])
+        else:
+            upper = [max(self.levels[level], key=lambda t: t.data_bytes)]
+        lower = [t for t in self.levels[level + 1]
+                 if any(t.overlaps(u) for u in upper)]
+        merged = yield from self._merge_tables(upper + lower, level)
+        new_tables = []
+        if merged:
+            table = yield from self._write_sstable(merged, level + 1)
+            new_tables.append(table)
+        for table in upper:
+            self.levels[level].remove(table)
+            self.compaction_bytes += table.data_bytes
+            yield from self.fs.delete(table.name)
+        for table in lower:
+            self.levels[level + 1].remove(table)
+            self.compaction_bytes += table.data_bytes
+            yield from self.fs.delete(table.name)
+        self.levels[level + 1].extend(new_tables)
+        self.compactions += 1
+
+    def _merge_tables(self, tables: List[SSTable], level: int):
+        """Process-style newest-wins merge; reads every input table.
+
+        Compaction reads its inputs sequentially in full — the large
+        sequential read traffic that makes db_bench's overwrite workload
+        IO-bound — and produces the merged, sorted item list.
+        """
+        contents: Dict[str, bytes] = {}
+        for table in tables:
+            if table.data_bytes:
+                contents[table.name] = yield from self.fs.read(
+                    table.name, 0, table.data_bytes)
+            else:
+                contents[table.name] = b""
+        winners: Dict[bytes, Tuple[SSTable, int, int]] = {}
+        # Iterate oldest-first so newer entries overwrite older ones:
+        # higher level number = older data; within a level, lower file
+        # sequence = older table.
+        for table in sorted(tables, key=lambda t: (-t.level, t.name)):
+            for key, (offset, length) in table.index.items():
+                winners[key] = (table, offset, length)
+        items: List[Tuple[bytes, object]] = []
+        drop_tombstones = not any(self.levels[level + 2:])
+        for key in sorted(winners):
+            table, offset, length = winners[key]
+            if length < 0:
+                if not drop_tombstones:
+                    items.append((key, _TOMBSTONE))
+                continue
+            items.append((key, contents[table.name][offset:offset + length]))
+        return items

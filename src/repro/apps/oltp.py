@@ -1,0 +1,123 @@
+"""sysbench-style OLTP workloads over the LSM engine (paper §6.3, Fig. 14).
+
+Models sysbench driving MySQL/MyRocks: a set of tables stored in the LSM
+engine (MyRocks maps rows to RocksDB keys), with the three standard
+workloads —
+
+* ``oltp_read_only``: 10 point SELECTs plus 4 range scans per transaction;
+* ``oltp_write_only``: 2 UPDATEs, 1 DELETE, 1 INSERT per transaction
+  (each transaction commits with an fsync'd WAL write, as InnoDB/MyRocks
+  durability requires);
+* ``oltp_read_write``: the union of the two.
+
+``threads`` concurrent worker loops run for a fixed number of
+transactions; the result reports transactions/second, average latency,
+and 95th-percentile latency — the three metrics of Figure 14.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from ..errors import ReproError
+from ..sim import LatencyStats, Simulator, simulation_gc
+from .lsm import LSMTree
+
+
+@dataclasses.dataclass
+class OltpResult:
+    """Outcome of one sysbench run."""
+
+    workload: str
+    threads: int
+    transactions: int
+    elapsed: float
+    latency: LatencyStats
+
+    @property
+    def tps(self) -> float:
+        return self.transactions / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def avg_latency(self) -> float:
+        return self.latency.mean
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency.p95
+
+
+def row_key(table: int, row: int) -> bytes:
+    """MyRocks-style key: table id prefix + primary key."""
+    return b"t%02d:%012d" % (table, row)
+
+
+def prepare_tables(sim: Simulator, lsm: LSMTree, tables: int, rows: int,
+                   row_bytes: int = 200, seed: int = 0) -> None:
+    """sysbench 'prepare': populate ``tables`` tables of ``rows`` rows."""
+    rng = random.Random(seed)
+    payload = rng.randbytes(row_bytes)
+
+    def loader():
+        for table in range(tables):
+            for row in range(rows):
+                yield from lsm.put(row_key(table, row), payload)
+        yield from lsm.flush()
+    with simulation_gc():
+        sim.run_process(loader())
+
+
+def run_oltp(sim: Simulator, lsm: LSMTree, workload: str, threads: int,
+             transactions: int, tables: int, rows: int,
+             row_bytes: int = 200, range_size: int = 20,
+             seed: int = 0) -> OltpResult:
+    """Run one sysbench workload to completion; drains the event loop."""
+    if workload not in ("oltp_read_only", "oltp_write_only",
+                        "oltp_read_write"):
+        raise ReproError(f"unknown sysbench workload: {workload}")
+    latency = LatencyStats()
+    per_thread = transactions // threads
+    start = sim.now
+    procs = [
+        sim.process(_worker(sim, lsm, workload, per_thread, tables, rows,
+                            row_bytes, range_size, latency,
+                            seed * 104729 + t))
+        for t in range(threads)
+    ]
+    with simulation_gc():
+        sim.run()
+    for proc in procs:
+        if not proc.ok:
+            raise proc.value
+    return OltpResult(workload=workload, threads=threads,
+                      transactions=per_thread * threads,
+                      elapsed=sim.now - start, latency=latency)
+
+
+def _worker(sim: Simulator, lsm: LSMTree, workload: str, count: int,
+            tables: int, rows: int, row_bytes: int, range_size: int,
+            latency: LatencyStats, seed: int):
+    rng = random.Random(seed)
+    payload = rng.randbytes(row_bytes)
+    #: rows inserted by this worker, used for later deletes.
+    next_insert = rows + (seed % 1000) * 10_000_000
+    for _ in range(count):
+        began = sim.now
+        table = rng.randrange(tables)
+        if workload in ("oltp_read_only", "oltp_read_write"):
+            for _ in range(10):  # point selects
+                yield from lsm.get(row_key(table, rng.randrange(rows)))
+            for _ in range(4):   # range scans
+                start_row = rng.randrange(rows)
+                yield from lsm.scan(row_key(table, start_row), range_size)
+        if workload in ("oltp_write_only", "oltp_read_write"):
+            for _ in range(2):   # index/non-index updates
+                yield from lsm.put(row_key(table, rng.randrange(rows)),
+                                   payload)
+            yield from lsm.delete(row_key(table, rng.randrange(rows)))
+            yield from lsm.put(row_key(table, next_insert), payload)
+            next_insert += 1
+            # COMMIT: durable WAL write.
+            yield from lsm.commit()
+        latency.add(sim.now - began)

@@ -1,0 +1,16 @@
+"""Block-layer abstractions: bios, devices, and the service-time model."""
+
+from .bio import Bio, BioFlags, Op
+from .device import BlockDevice, DeviceStats
+from .timing import ServiceTimeModel, conventional_ssd_model, zns_zn540_model
+
+__all__ = [
+    "Bio",
+    "BioFlags",
+    "Op",
+    "BlockDevice",
+    "DeviceStats",
+    "ServiceTimeModel",
+    "conventional_ssd_model",
+    "zns_zn540_model",
+]

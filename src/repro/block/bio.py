@@ -1,0 +1,167 @@
+"""Bio: the unit of IO between layers, modelled on the Linux block layer.
+
+RAIZN is a device-mapper target, so its interface contract is expressed in
+terms of bios and their flags: ``REQ_OP_*`` operation codes plus the
+``REQ_FUA`` and ``REQ_PREFLUSH`` persistence flags (paper §5.3).  This
+module reproduces that vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..errors import InvalidAddressError
+from ..units import SECTOR_SIZE
+
+
+class Op(enum.Enum):
+    """Bio operation codes (subset of Linux ``REQ_OP_*`` relevant to ZNS)."""
+
+    READ = "read"
+    WRITE = "write"
+    FLUSH = "flush"
+    DISCARD = "discard"
+    ZONE_APPEND = "zone_append"
+    ZONE_RESET = "zone_reset"
+    ZONE_FINISH = "zone_finish"
+    ZONE_OPEN = "zone_open"
+    ZONE_CLOSE = "zone_close"
+
+
+class BioFlags(enum.IntFlag):
+    """Persistence flags carried by a bio."""
+
+    NONE = 0
+    #: Forced unit access: the write itself must be durable before completion.
+    FUA = 1
+    #: Flush the device write cache before executing this bio.
+    PREFLUSH = 2
+
+
+class Bio:
+    """One IO request.
+
+    ``offset`` and data lengths are in bytes.  WRITE and ZONE_APPEND carry
+    ``data``; READ carries ``length``; zone-management ops carry only the
+    zone-identifying ``offset``.  After completion, ``result`` holds the
+    bytes read (READ) or the byte address at which data landed
+    (ZONE_APPEND).
+    """
+
+    __slots__ = (
+        "op",
+        "offset",
+        "data",
+        "length",
+        "flags",
+        "result",
+        "submit_time",
+        "complete_time",
+        "aux",
+    )
+
+    def __init__(
+        self,
+        op: Op,
+        offset: int = 0,
+        data: Optional[bytes] = None,
+        length: int = 0,
+        flags: BioFlags = BioFlags.NONE,
+    ):
+        if offset < 0:
+            raise InvalidAddressError(f"negative bio offset: {offset}")
+        if op in (Op.WRITE, Op.ZONE_APPEND):
+            if data is None:
+                raise ValueError(f"{op.value} bio requires data")
+            length = len(data)
+        elif op == Op.READ:
+            if length <= 0:
+                raise ValueError("READ bio requires a positive length")
+        self.op = op
+        self.offset = offset
+        self.data = data
+        self.length = length
+        self.flags = flags
+        self.result: object = None
+        self.submit_time: Optional[float] = None
+        self.complete_time: Optional[float] = None
+        #: Device-private scratch (e.g. flush snapshots); not for callers.
+        self.aux: object = None
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def read(cls, offset: int, length: int) -> "Bio":
+        """A read of ``length`` bytes at byte ``offset``."""
+        return cls(Op.READ, offset=offset, length=length)
+
+    @classmethod
+    def write(cls, offset: int, data: bytes, flags: BioFlags = BioFlags.NONE) -> "Bio":
+        """A write of ``data`` at byte ``offset``."""
+        return cls(Op.WRITE, offset=offset, data=bytes(data), flags=flags)
+
+    @classmethod
+    def zone_append(cls, zone_start: int, data: bytes,
+                    flags: BioFlags = BioFlags.NONE) -> "Bio":
+        """A zone append into the zone starting at byte ``zone_start``."""
+        return cls(Op.ZONE_APPEND, offset=zone_start, data=bytes(data), flags=flags)
+
+    @classmethod
+    def flush(cls) -> "Bio":
+        """A standalone cache flush (``REQ_OP_FLUSH``)."""
+        return cls(Op.FLUSH)
+
+    @classmethod
+    def zone_reset(cls, zone_start: int) -> "Bio":
+        """Reset the zone starting at byte ``zone_start``."""
+        return cls(Op.ZONE_RESET, offset=zone_start)
+
+    @classmethod
+    def zone_finish(cls, zone_start: int) -> "Bio":
+        """Transition the zone starting at ``zone_start`` to FULL."""
+        return cls(Op.ZONE_FINISH, offset=zone_start)
+
+    @classmethod
+    def zone_open(cls, zone_start: int) -> "Bio":
+        """Explicitly open the zone starting at ``zone_start``."""
+        return cls(Op.ZONE_OPEN, offset=zone_start)
+
+    @classmethod
+    def zone_close(cls, zone_start: int) -> "Bio":
+        """Close the zone starting at ``zone_start``."""
+        return cls(Op.ZONE_CLOSE, offset=zone_start)
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def is_fua(self) -> bool:
+        return bool(self.flags & BioFlags.FUA)
+
+    @property
+    def is_preflush(self) -> bool:
+        return bool(self.flags & BioFlags.PREFLUSH)
+
+    @property
+    def end_offset(self) -> int:
+        """One past the last byte this bio touches."""
+        return self.offset + self.length
+
+    @property
+    def latency(self) -> float:
+        """Completion minus submission time; only valid after completion."""
+        if self.submit_time is None or self.complete_time is None:
+            raise ValueError("bio has not completed")
+        return self.complete_time - self.submit_time
+
+    def check_alignment(self) -> None:
+        """Raise unless offset and length are sector aligned (data ops only)."""
+        if self.op in (Op.READ, Op.WRITE, Op.ZONE_APPEND):
+            if self.offset % SECTOR_SIZE or self.length % SECTOR_SIZE:
+                raise InvalidAddressError(
+                    f"{self.op.value} bio not sector aligned: "
+                    f"offset={self.offset:#x} length={self.length:#x}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Bio {self.op.value} off={self.offset:#x} "
+                f"len={self.length:#x} flags={self.flags!r}>")

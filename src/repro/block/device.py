@@ -1,0 +1,195 @@
+"""Base class shared by all simulated storage devices.
+
+A device is a pool of command channels plus device-specific state.  The
+logical effect of a command (address checks, write-pointer updates, FTL
+mapping) is applied *at submission*, in submission order — matching how an
+NVMe device validates and queues commands — while the completion event
+fires after the modelled service time.  Durability effects (write-cache
+flushes, FUA) are applied at completion time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import DeviceError, DeviceFailedError, PowerLossError
+from ..sim import Event, Resource, Simulator
+from .bio import Bio, BioFlags, Op
+from .timing import ServiceTimeModel
+
+
+class DeviceStats:
+    """Per-device IO accounting, including media-level write amplification."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.flushes = 0
+        self.zone_mgmt = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        #: Bytes physically programmed to media, including GC copy-back;
+        #: write amplification = media_bytes_written / bytes_written.
+        self.media_bytes_written = 0
+
+    @property
+    def write_amplification(self) -> float:
+        if self.bytes_written == 0:
+            return 1.0
+        return self.media_bytes_written / self.bytes_written
+
+    def account(self, bio: Bio) -> None:
+        if bio.op == Op.READ:
+            self.reads += 1
+            self.bytes_read += bio.length
+        elif bio.op in (Op.WRITE, Op.ZONE_APPEND):
+            self.writes += 1
+            self.bytes_written += bio.length
+            self.media_bytes_written += bio.length
+        elif bio.op == Op.FLUSH:
+            self.flushes += 1
+        else:
+            self.zone_mgmt += 1
+
+
+class BlockDevice:
+    """Abstract simulated device; subclasses implement ``_apply``/``_persist``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        size_bytes: int,
+        model: ServiceTimeModel,
+        seed: int = 0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.size_bytes = size_bytes
+        self.model = model
+        self.channels = Resource(sim, model.channels)
+        self.stats = DeviceStats()
+        self.failed = False
+        self.powered = True
+        self._rng = random.Random(seed)
+        #: Optional fault-injection hook: called as ``hook(device, bio)``
+        #: before each command is applied (see :mod:`repro.faults`).
+        self.pre_apply_hook = None
+
+    # -- the public IO interface ----------------------------------------------
+
+    def submit(self, bio: Bio) -> Event:
+        """Submit ``bio``; the returned event succeeds with the completed bio.
+
+        Command validation and logical state changes happen synchronously
+        here, in submission order.  The event fails with a ``DeviceError``
+        on invalid commands and with ``DeviceFailedError`` if the device has
+        failed.
+        """
+        bio.submit_time = self.sim.now
+        done = self.sim.event()
+        if self.failed:
+            self.sim.schedule(0.0, done.fail,
+                              DeviceFailedError(f"{self.name} has failed"))
+            return done
+        if not self.powered:
+            self.sim.schedule(0.0, done.fail,
+                              PowerLossError(f"{self.name} is powered off"))
+            return done
+        try:
+            if self.pre_apply_hook is not None:
+                self.pre_apply_hook(self, bio)
+                if not self.powered:
+                    raise PowerLossError(
+                        f"{self.name} lost power (fault injection)")
+                if self.failed:
+                    raise DeviceFailedError(
+                        f"{self.name} failed (fault injection)")
+            bio.check_alignment()
+            extra_time = self._apply(bio)
+        except DeviceError as exc:
+            self.sim.schedule(0.0, done.fail, exc)
+            return done
+        self.sim.process(self._service(bio, extra_time, done))
+        return done
+
+    def execute(self, bio: Bio) -> Bio:
+        """Synchronously run ``bio`` to completion (drains the event loop)."""
+        done = self.submit(bio)
+        self.sim.run()
+        if not done.triggered:
+            raise DeviceError(f"{self.name}: bio never completed")
+        if not done.ok:
+            raise done.value
+        return done.value
+
+    # -- hooks for subclasses ---------------------------------------------------
+
+    def _apply(self, bio: Bio) -> float:
+        """Validate and apply the logical effect of ``bio``.
+
+        Returns extra service time (seconds) beyond the base model — used
+        by the conventional SSD to charge garbage-collection work to the
+        triggering write.  Raises ``DeviceError`` on invalid commands.
+        """
+        raise NotImplementedError
+
+    def _persist(self, bio: Bio) -> None:
+        """Apply durability effects at completion (flush / FUA semantics)."""
+        raise NotImplementedError
+
+    # -- internals --------------------------------------------------------------
+
+    def _service(self, bio: Bio, extra_time: float, done: Event):
+        yield self.channels.request()
+        try:
+            occupancy = self.model.occupancy_time(bio.op, bio.length,
+                                                  self._rng)
+            yield self.sim.timeout(occupancy + extra_time)
+        finally:
+            self.channels.release()
+        pipeline = self.model.pipeline_latency(bio.op)
+        if pipeline > 0:
+            yield self.sim.timeout(pipeline)
+        if self.failed:
+            done.fail(DeviceFailedError(f"{self.name} failed mid-IO"))
+            return
+        if not self.powered:
+            done.fail(PowerLossError(f"{self.name} lost power mid-IO"))
+            return
+        self._persist(bio)
+        self.stats.account(bio)
+        bio.complete_time = self.sim.now
+        done.succeed(bio)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def fail_device(self) -> None:
+        """Mark the device failed; all current and future IO errors out."""
+        self.failed = True
+
+    def power_off(self) -> None:
+        """Cut power: in-flight/unflushed state handling is subclass-defined."""
+        self.powered = False
+
+    def power_on(self) -> None:
+        """Restore power after ``power_off``."""
+        self.powered = True
+
+    # -- convenience coroutines (for use inside simulated processes) -------------
+
+    def read(self, offset: int, length: int):
+        """Process-style read: ``data = yield from dev.read(off, n)``."""
+        bio = yield self.submit(Bio.read(offset, length))
+        return bio.result
+
+    def write(self, offset: int, data: bytes, flags: BioFlags = BioFlags.NONE):
+        """Process-style write; returns the completed bio."""
+        bio = yield self.submit(Bio.write(offset, data, flags))
+        return bio
+
+    def flush(self):
+        """Process-style cache flush."""
+        bio = yield self.submit(Bio.flush())
+        return bio

@@ -1,0 +1,6 @@
+"""Simulated conventional (FTL-based) SSD substrate."""
+
+from .device import ConventionalSSD
+from .ftl import FTLConfig, GCResult, PageMappedFTL
+
+__all__ = ["ConventionalSSD", "FTLConfig", "GCResult", "PageMappedFTL"]

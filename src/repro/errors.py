@@ -1,0 +1,84 @@
+"""Exception hierarchy for the RAIZN reproduction.
+
+The substrate raises ``DeviceError`` subclasses for conditions that a real
+NVMe device would report as command status codes (e.g. writing a full zone,
+violating the write pointer).  The RAIZN layer raises ``RaiznError``
+subclasses for volume-level misuse.  ``SimulationError`` covers internal
+invariant violations of the event engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Internal discrete-event-simulation invariant violation."""
+
+
+class DeviceError(ReproError):
+    """Base class for errors reported by a simulated storage device."""
+
+
+class InvalidAddressError(DeviceError):
+    """Access outside the device address space or misaligned."""
+
+
+class WritePointerViolation(DeviceError):
+    """A zone write did not land exactly on the zone's write pointer.
+
+    Mirrors the NVMe ZNS "Zone Invalid Write" status.
+    """
+
+
+class ZoneStateError(DeviceError):
+    """Operation not permitted in the zone's current state.
+
+    E.g. writing a FULL or OFFLINE zone, resetting an offline zone.
+    """
+
+
+class OpenZoneLimitError(DeviceError):
+    """Opening one more zone would exceed the device's open-zone limit.
+
+    Mirrors the NVMe ZNS "Too Many Active Zones" / "Too Many Open Zones"
+    statuses; the paper's ZN540 devices allow 14 simultaneously open zones.
+    """
+
+
+class ReadUnwrittenError(DeviceError):
+    """Read of sectors beyond a zone's write pointer (unwritten data)."""
+
+
+class DeviceFailedError(DeviceError):
+    """The device has failed (fault injection) and rejects all IO."""
+
+
+class PowerLossError(DeviceError):
+    """IO issued to a device that is powered off."""
+
+
+class RaiznError(ReproError):
+    """Base class for RAIZN volume-level errors."""
+
+
+class VolumeStateError(RaiznError):
+    """Operation not valid in the volume's current state (e.g. read-only)."""
+
+
+class DegradedModeError(RaiznError):
+    """Operation cannot be served with the current number of failed devices."""
+
+
+class DataLossError(RaiznError):
+    """More devices failed than the parity configuration tolerates."""
+
+
+class MetadataError(RaiznError):
+    """Corrupt, missing, or inconsistent on-disk metadata."""
+
+
+class RecoveryError(RaiznError):
+    """Mount-time crash recovery could not produce a consistent volume."""

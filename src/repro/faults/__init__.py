@@ -1,0 +1,23 @@
+"""Fault injection: power loss, crash points, device failures."""
+
+from .devicefail import fail_and_rebuild, fresh_replacement, wear_out_zone
+from .powerloss import (
+    CrashPoint,
+    crash_during,
+    power_cycle,
+    power_fail_array,
+    power_restore_array,
+    tolerate_power_loss,
+)
+
+__all__ = [
+    "fail_and_rebuild",
+    "fresh_replacement",
+    "wear_out_zone",
+    "CrashPoint",
+    "crash_during",
+    "power_cycle",
+    "power_fail_array",
+    "power_restore_array",
+    "tolerate_power_loss",
+]

@@ -1,0 +1,82 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+| Paper artifact | Driver |
+|---|---|
+| Table 1 (metadata sizes) | :mod:`repro.harness.table1` |
+| Figure 7 (mdraid stripe-unit sweep) | :func:`stripe_unit_sweep` |
+| Figure 8 (RAIZN stripe-unit sweep) | :func:`stripe_unit_sweep` |
+| Figure 9 (RAIZN vs mdraid microbench) | :func:`raizn_vs_mdraid` |
+| Figure 10 (GC timeseries) | :func:`run_gc_timeseries` |
+| Figure 11 (degraded reads) | :func:`degraded_sweep` |
+| Figure 12 (time to repair) | :func:`ttr_sweep` |
+| Figure 13 (RocksDB) | :func:`rocksdb_comparison` |
+| Figure 14 (sysbench) | :func:`sysbench_comparison` |
+| §6.1 raw device numbers | :func:`measure_raw_devices` |
+"""
+
+from .arrays import DEFAULT, LARGE, SMALL, ArrayScale, make_mdraid, make_raizn
+from .degraded import degraded_sweep, run_degraded
+from .gc_timeseries import (
+    GcTimeseriesResult,
+    run_gc_timeseries,
+    throughput_vs_progress,
+)
+from .microbench import (
+    MicrobenchPoint,
+    PAPER_BLOCK_SIZES,
+    points_table,
+    raizn_vs_mdraid,
+    run_microbench,
+    stripe_unit_sweep,
+)
+from .rawdev import RawDeviceResult, measure_raw_devices
+from .rebuild import TtrPoint, mdraid_ttr, raizn_ttr, ttr_sweep
+from .results import Series, format_series_table, format_table, normalize
+from .rocksdb import (
+    RocksdbCell,
+    normalized_to_mdraid,
+    rocksdb_comparison,
+    run_rocksdb,
+)
+from .sysbench import SysbenchCell, run_sysbench, sysbench_comparison
+from .table1 import Table1Row, measured_entry_sizes, table1_rows
+
+__all__ = [
+    "ArrayScale",
+    "DEFAULT",
+    "SMALL",
+    "LARGE",
+    "make_mdraid",
+    "make_raizn",
+    "degraded_sweep",
+    "run_degraded",
+    "GcTimeseriesResult",
+    "run_gc_timeseries",
+    "throughput_vs_progress",
+    "MicrobenchPoint",
+    "PAPER_BLOCK_SIZES",
+    "points_table",
+    "raizn_vs_mdraid",
+    "run_microbench",
+    "stripe_unit_sweep",
+    "RawDeviceResult",
+    "measure_raw_devices",
+    "TtrPoint",
+    "mdraid_ttr",
+    "raizn_ttr",
+    "ttr_sweep",
+    "Series",
+    "format_series_table",
+    "format_table",
+    "normalize",
+    "RocksdbCell",
+    "normalized_to_mdraid",
+    "rocksdb_comparison",
+    "run_rocksdb",
+    "SysbenchCell",
+    "run_sysbench",
+    "sysbench_comparison",
+    "Table1Row",
+    "measured_entry_sizes",
+    "table1_rows",
+]

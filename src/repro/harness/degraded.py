@@ -1,0 +1,62 @@
+"""Figure 11: read performance with one failed device (paper §6.2).
+
+Same parameters as the Figure 9 read workloads, except the array is
+primed and then "the first device in the array was disabled and removed
+without replacement".  Degraded writes carry no penalty (missing stripe
+units are simply omitted), so only sequential and random reads are
+reported, matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim import Simulator
+from ..units import KiB, MiB
+from .arrays import DEFAULT, ArrayScale, make_mdraid, make_raizn
+from .microbench import (
+    MicrobenchPoint,
+    _default_per_job,
+    _job_geometry,
+    _run_workload,
+)
+
+
+def run_degraded(kind: str, workload: str, block_size: int,
+                 scale: ArrayScale = DEFAULT,
+                 seed: int = 0) -> MicrobenchPoint:
+    """One cell of Figure 11: prime, fail device 0, measure reads."""
+    if workload not in ("read", "randread"):
+        raise ValueError("degraded benchmark covers read workloads only")
+    sim = Simulator()
+    if kind == "raizn":
+        volume, _devices = make_raizn(sim, scale, seed=seed)
+    else:
+        volume, _devices = make_mdraid(sim, scale, seed=seed)
+    per_job = _default_per_job(volume, block_size)
+    _align, _jobs, region, read_size = _job_geometry(volume, block_size,
+                                                     per_job)
+    prime_size = min(-(-read_size // MiB) * MiB, region)
+    _run_workload(sim, volume, kind, "write", 1 * MiB, prime_size, seed)
+    volume.fail_device(0)
+    result = _run_workload(sim, volume, kind, workload, block_size,
+                           per_job, seed)
+    return MicrobenchPoint(
+        system=f"{kind}/degraded", workload=workload, block_size=block_size,
+        throughput_mib_s=result.throughput_mib_s,
+        median_latency=result.latency.median,
+        p999_latency=result.latency.p999)
+
+
+def degraded_sweep(block_sizes: Sequence[int] = (4 * KiB, 64 * KiB,
+                                                 256 * KiB, 1 * MiB),
+                   scale: ArrayScale = DEFAULT,
+                   seed: int = 0) -> List[MicrobenchPoint]:
+    """Figure 11: both systems, both read workloads, block-size sweep."""
+    points = []
+    for kind in ("mdraid", "raizn"):
+        for workload in ("read", "randread"):
+            for block_size in block_sizes:
+                points.append(run_degraded(kind, workload, block_size,
+                                           scale=scale, seed=seed))
+    return points

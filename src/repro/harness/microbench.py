@@ -1,0 +1,163 @@
+"""Raw-volume microbenchmarks: Figures 7, 8 and 9 (paper §6.1).
+
+Three workloads, matching the paper's fio configurations:
+
+* sequential write — 8 jobs × QD 64, direct IO, fresh volume;
+* sequential read — 8 jobs × QD 64 over a primed volume;
+* random read — 1 job × QD 256 over the primed region.
+
+``stripe_unit_sweep`` reruns them for different stripe-unit sizes
+(Figures 7 and 8); ``raizn_vs_mdraid`` compares the two systems at the
+64 KiB stripe unit the paper settles on (Figure 9), reporting throughput,
+median latency, and 99.9th-percentile latency per block size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..sim import Simulator
+from ..units import KiB, MiB
+from ..workloads.fio import FioJobSpec, FioResult, run_fio
+from .arrays import DEFAULT, ArrayScale, make_mdraid, make_raizn
+
+#: Block sizes the paper sweeps (4 KiB – 1 MiB).
+PAPER_BLOCK_SIZES = [4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB]
+
+WORKLOADS = ("write", "read", "randread")
+
+
+@dataclasses.dataclass
+class MicrobenchPoint:
+    """One (system, workload, block size) measurement."""
+
+    system: str
+    workload: str
+    block_size: int
+    throughput_mib_s: float
+    median_latency: float
+    p999_latency: float
+
+
+def _fresh_volume(kind: str, scale: ArrayScale, stripe_unit: int, seed: int):
+    sim = Simulator()
+    sized = dataclasses.replace(scale, stripe_unit_bytes=stripe_unit)
+    if kind == "raizn":
+        volume, _devices = make_raizn(sim, sized, seed=seed)
+    elif kind == "mdraid":
+        volume, _devices = make_mdraid(sim, sized, seed=seed)
+    else:
+        raise ValueError(f"unknown system kind: {kind}")
+    return sim, volume
+
+
+def _job_geometry(volume, block_size: int, per_job_bytes: int):
+    """Fit the paper's 8-job layout onto (possibly tiny) scaled volumes."""
+    align = getattr(volume, "zone_capacity", None)
+    numjobs = 8
+    if align:
+        numjobs = max(1, min(8, volume.capacity // align))
+    per_job_region = volume.capacity // numjobs
+    if align:
+        per_job_region -= per_job_region % align
+    size_per_job = min(per_job_bytes, per_job_region)
+    size_per_job -= size_per_job % block_size
+    return align, numjobs, per_job_region, max(size_per_job, block_size)
+
+
+def _run_workload(sim: Simulator, volume, kind: str, workload: str,
+                  block_size: int, per_job_bytes: int,
+                  seed: int) -> FioResult:
+    align, numjobs, per_job_region, size_per_job = _job_geometry(
+        volume, block_size, per_job_bytes)
+    if workload in ("write", "read"):
+        spec = FioJobSpec(rw=workload, block_size=block_size, iodepth=64,
+                          numjobs=numjobs, size_per_job=size_per_job,
+                          region=(0, volume.capacity), align=align,
+                          seed=seed)
+    else:  # randread: 1 job, QD 256, within the primed first-job region
+        spec = FioJobSpec(rw="randread", block_size=block_size, iodepth=256,
+                          numjobs=1, size_per_job=2 * size_per_job,
+                          region=(0, size_per_job), seed=seed)
+    return run_fio(sim, volume, spec)
+
+
+def run_microbench(kind: str, workload: str, block_size: int,
+                   stripe_unit: int = 64 * KiB,
+                   scale: ArrayScale = DEFAULT,
+                   per_job_bytes: Optional[int] = None,
+                   seed: int = 0) -> MicrobenchPoint:
+    """One cell of Figures 7–9: fresh array, primed if reading."""
+    sim, volume = _fresh_volume(kind, scale, stripe_unit, seed)
+    per_job = per_job_bytes or _default_per_job(volume, block_size)
+    if workload != "write":
+        # Prime the volume before read workloads (the paper primes with
+        # a full sequential write pass); the primed range must cover what
+        # the read jobs will touch, whole-MiB rounded.
+        _align, _jobs, region, read_size = _job_geometry(
+            volume, block_size, per_job)
+        prime_size = min(-(-read_size // MiB) * MiB, region)
+        _run_workload(sim, volume, kind, "write", 1 * MiB, prime_size, seed)
+    result = _run_workload(sim, volume, kind, workload, block_size,
+                           per_job, seed)
+    return MicrobenchPoint(
+        system=kind, workload=workload, block_size=block_size,
+        throughput_mib_s=result.throughput_mib_s,
+        median_latency=result.latency.median,
+        p999_latency=result.latency.p999)
+
+
+def _default_per_job(volume, block_size: int) -> int:
+    """Per-job transfer size: bounded by the volume and by IO count.
+
+    Small-block runs are capped at a few thousand IOs per job so sweeps
+    finish quickly; ``_job_geometry`` clamps further to what the volume
+    can actually hold.
+    """
+    max_ios = 4096
+    return max(min(volume.capacity // 8,
+                   max(block_size * max_ios, 4 * MiB)), block_size)
+
+
+def stripe_unit_sweep(kind: str,
+                      stripe_units: Sequence[int] = (16 * KiB, 64 * KiB),
+                      block_sizes: Sequence[int] = tuple(PAPER_BLOCK_SIZES),
+                      workloads: Sequence[str] = WORKLOADS,
+                      scale: ArrayScale = DEFAULT,
+                      seed: int = 0) -> List[MicrobenchPoint]:
+    """Figures 7 (mdraid) and 8 (RAIZN): stripe-unit size sweep."""
+    points = []
+    for stripe_unit in stripe_units:
+        for workload in workloads:
+            for block_size in block_sizes:
+                point = run_microbench(kind, workload, block_size,
+                                       stripe_unit=stripe_unit, scale=scale,
+                                       seed=seed)
+                point = dataclasses.replace(
+                    point, system=f"{kind}/su={stripe_unit // KiB}K")
+                points.append(point)
+    return points
+
+
+def raizn_vs_mdraid(block_sizes: Sequence[int] = tuple(PAPER_BLOCK_SIZES),
+                    workloads: Sequence[str] = WORKLOADS,
+                    scale: ArrayScale = DEFAULT,
+                    seed: int = 0) -> List[MicrobenchPoint]:
+    """Figure 9: both systems at the 64 KiB stripe unit."""
+    points = []
+    for kind in ("mdraid", "raizn"):
+        for workload in workloads:
+            for block_size in block_sizes:
+                points.append(run_microbench(kind, workload, block_size,
+                                             scale=scale, seed=seed))
+    return points
+
+
+def points_table(points: List[MicrobenchPoint]) -> List[List[object]]:
+    """Rows for :func:`repro.harness.results.format_table`."""
+    return [[p.system, p.workload, p.block_size // KiB,
+             round(p.throughput_mib_s, 1),
+             round(p.median_latency * 1e6, 1),
+             round(p.p999_latency * 1e6, 1)]
+            for p in points]

@@ -1,0 +1,91 @@
+"""Result tables and series formatting shared by all experiment drivers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table, right-aligned numbers."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclasses.dataclass
+class Series:
+    """One labelled (x, y) series of an experiment figure."""
+
+    label: str
+    points: List[Tuple[float, float]]
+
+    def smoothed(self, window: int = 5) -> "Series":
+        """Centered moving average, for noisy timeseries plots."""
+        if window <= 1 or len(self.points) < window:
+            return self
+        xs = [p[0] for p in self.points]
+        ys = [p[1] for p in self.points]
+        half = window // 2
+        smoothed = []
+        for i in range(len(ys)):
+            lo, hi = max(0, i - half), min(len(ys), i + half + 1)
+            smoothed.append((xs[i], sum(ys[lo:hi]) / (hi - lo)))
+        return Series(self.label, smoothed)
+
+    def downsample(self, buckets: int) -> "Series":
+        """Average into at most ``buckets`` evenly sized groups."""
+        if len(self.points) <= buckets:
+            return self
+        size = len(self.points) / buckets
+        out = []
+        for b in range(buckets):
+            lo, hi = int(b * size), max(int((b + 1) * size), int(b * size) + 1)
+            chunk = self.points[lo:hi]
+            out.append((chunk[0][0], sum(y for _, y in chunk) / len(chunk)))
+        return Series(self.label, out)
+
+
+def format_series_table(series_list: Sequence[Series], xlabel: str,
+                        ylabel: str, buckets: int = 20) -> str:
+    """Aligned multi-series table (one row per x, one column per series)."""
+    sampled = [s.downsample(buckets) for s in series_list]
+    headers = [xlabel] + [f"{s.label} ({ylabel})" for s in sampled]
+    longest = max(sampled, key=lambda s: len(s.points))
+    rows = []
+    for i, (x, _y) in enumerate(longest.points):
+        row: List[object] = [f"{x:.2f}"]
+        for s in sampled:
+            row.append(s.points[i][1] if i < len(s.points) else "")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def normalize(values: Dict[str, float], baseline_key: str) -> Dict[str, float]:
+    """Each value divided by the baseline's (Figure 13's normalization)."""
+    base = values[baseline_key]
+    if base == 0:
+        raise ValueError("baseline value is zero")
+    return {key: value / base for key, value in values.items()}

@@ -1,0 +1,113 @@
+"""Figure 13: RocksDB (db_bench) on F2FS on RAIZN vs mdraid (paper §6.3).
+
+Runs fillseq, fillrandom, overwrite, and readwhilewriting at the two
+value sizes Figure 13 plots (4000 and 8000 bytes).  After fillseq the
+database is reset; the other three run in succession on a shared
+database, matching the paper's methodology.  Results are reported both
+raw and normalized to mdraid, as in the figure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from ..apps.dbbench import DbBenchResult, db_bench
+from ..apps.f2fs import F2FS
+from ..apps.lsm import LSMTree
+from ..sim import Simulator
+from ..units import MiB
+from .arrays import DEFAULT, ArrayScale, make_mdraid, make_raizn
+
+WORKLOADS = ("fillseq", "fillrandom", "overwrite", "readwhilewriting")
+
+
+@dataclasses.dataclass
+class RocksdbCell:
+    """One (system, workload, value size) measurement."""
+
+    system: str
+    workload: str
+    value_size: int
+    ops_per_second: float
+    p99_latency: float
+
+
+def _make_stack(kind: str, scale: ArrayScale, seed: int):
+    sim = Simulator()
+    if kind == "raizn":
+        volume, _devices = make_raizn(sim, scale, seed=seed)
+    else:
+        volume, _devices = make_mdraid(sim, scale, seed=seed)
+    fs = F2FS(sim, volume)
+    lsm = LSMTree(sim, fs, memtable_bytes=1 * MiB, level_base_bytes=8 * MiB)
+    return sim, lsm
+
+
+def run_rocksdb(kind: str, value_size: int, num_ops: int,
+                scale: ArrayScale = DEFAULT,
+                workloads: Sequence[str] = WORKLOADS,
+                seed: int = 0) -> List[RocksdbCell]:
+    """The Figure 13 suite for one system and value size."""
+    cells = []
+    # fillseq runs on a fresh database, then the array is reset and the
+    # remaining workloads run in succession (paper §6.3).
+    if "fillseq" in workloads:
+        sim, lsm = _make_stack(kind, scale, seed)
+        result = db_bench(sim, lsm, "fillseq", num_ops=num_ops,
+                          value_size=value_size, seed=seed)
+        cells.append(_cell(kind, result, value_size))
+    remaining = [w for w in workloads if w != "fillseq"]
+    if remaining:
+        sim, lsm = _make_stack(kind, scale, seed + 1)
+        # Populate the keyspace first so overwrite/readwhilewriting have
+        # existing data, as fillrandom does in the paper's sequence.
+        for workload in remaining:
+            result = db_bench(sim, lsm, workload, num_ops=num_ops,
+                              value_size=value_size, key_space=num_ops,
+                              seed=seed)
+            cells.append(_cell(kind, result, value_size))
+    return cells
+
+
+def _cell(kind: str, result: DbBenchResult, value_size: int) -> RocksdbCell:
+    latency = (result.read_latency if result.workload == "readwhilewriting"
+               else result.write_latency)
+    return RocksdbCell(system=kind, workload=result.workload,
+                       value_size=value_size,
+                       ops_per_second=result.ops_per_second,
+                       p99_latency=latency.p99)
+
+
+def rocksdb_comparison(value_sizes: Sequence[int] = (4000, 8000),
+                       num_ops: int = 3000, scale: ArrayScale = DEFAULT,
+                       seed: int = 0) -> List[RocksdbCell]:
+    """Both systems at both value sizes (the full Figure 13)."""
+    cells = []
+    for value_size in value_sizes:
+        for kind in ("mdraid", "raizn"):
+            cells.extend(run_rocksdb(kind, value_size, num_ops, scale,
+                                     seed=seed))
+    return cells
+
+
+def normalized_to_mdraid(cells: List[RocksdbCell]) -> Dict[str, Dict[str, float]]:
+    """RAIZN/mdraid ratios per (workload, value size), as Figure 13 plots.
+
+    Returns ``{"throughput": {...}, "p99": {...}}`` keyed by
+    ``"{workload}/{value_size}"``.
+    """
+    ratios: Dict[str, Dict[str, float]] = {"throughput": {}, "p99": {}}
+    by_key: Dict[tuple, Dict[str, RocksdbCell]] = {}
+    for cell in cells:
+        by_key.setdefault((cell.workload, cell.value_size), {})[
+            cell.system] = cell
+    for (workload, value_size), pair in sorted(by_key.items()):
+        if "raizn" not in pair or "mdraid" not in pair:
+            continue
+        key = f"{workload}/{value_size}"
+        ratios["throughput"][key] = (pair["raizn"].ops_per_second
+                                     / pair["mdraid"].ops_per_second)
+        ratios["p99"][key] = (pair["raizn"].p99_latency
+                              / pair["mdraid"].p99_latency)
+    return ratios

@@ -1,0 +1,73 @@
+"""Figure 14: sysbench OLTP on MyRocks-style storage (paper §6.3).
+
+oltp_read_only / oltp_write_only / oltp_read_write at two thread counts,
+on a database prepared sysbench-style (8 tables × N rows in the paper;
+scaled down here).  Reports transactions/second, average latency, and
+95th-percentile latency for RAIZN and mdraid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from ..apps.f2fs import F2FS
+from ..apps.lsm import LSMTree
+from ..apps.oltp import prepare_tables, run_oltp
+from ..sim import Simulator
+from ..units import MiB
+from .arrays import DEFAULT, ArrayScale, make_mdraid, make_raizn
+
+WORKLOADS = ("oltp_read_only", "oltp_write_only", "oltp_read_write")
+
+
+@dataclasses.dataclass
+class SysbenchCell:
+    """One (system, workload, threads) measurement."""
+
+    system: str
+    workload: str
+    threads: int
+    tps: float
+    avg_latency: float
+    p95_latency: float
+
+
+def run_sysbench(kind: str, workload: str, threads: int,
+                 transactions: int = 320, tables: int = 4, rows: int = 2000,
+                 scale: ArrayScale = DEFAULT, seed: int = 0) -> SysbenchCell:
+    """One Figure 14 cell: fresh array, prepared tables, one workload.
+
+    The paper resets the volume and database before each trial; each
+    call here builds a fresh stack the same way.
+    """
+    sim = Simulator()
+    if kind == "raizn":
+        volume, _devices = make_raizn(sim, scale, seed=seed)
+    else:
+        volume, _devices = make_mdraid(sim, scale, seed=seed)
+    fs = F2FS(sim, volume)
+    lsm = LSMTree(sim, fs, memtable_bytes=1 * MiB, level_base_bytes=8 * MiB)
+    prepare_tables(sim, lsm, tables=tables, rows=rows, seed=seed)
+    result = run_oltp(sim, lsm, workload, threads=threads,
+                      transactions=transactions, tables=tables, rows=rows,
+                      seed=seed)
+    return SysbenchCell(system=kind, workload=workload, threads=threads,
+                        tps=result.tps, avg_latency=result.avg_latency,
+                        p95_latency=result.p95_latency)
+
+
+def sysbench_comparison(thread_counts: Sequence[int] = (64, 128),
+                        transactions: int = 320, tables: int = 4,
+                        rows: int = 2000, scale: ArrayScale = DEFAULT,
+                        seed: int = 0) -> List[SysbenchCell]:
+    """The full Figure 14 grid."""
+    cells = []
+    for workload in WORKLOADS:
+        for threads in thread_counts:
+            for kind in ("mdraid", "raizn"):
+                cells.append(run_sysbench(kind, workload, threads,
+                                          transactions=transactions,
+                                          tables=tables, rows=rows,
+                                          scale=scale, seed=seed))
+    return cells

@@ -1,0 +1,5 @@
+"""mdraid-style RAID-5 baseline over conventional (FTL) SSDs."""
+
+from .raid5 import MdraidVolume, ResyncReport, StripeCache
+
+__all__ = ["MdraidVolume", "ResyncReport", "StripeCache"]

@@ -1,0 +1,44 @@
+"""RAIZN: the paper's contribution — a RAID-5-style logical volume manager
+exposing a single ZNS device over an array of ZNS SSDs."""
+
+from .address import AddressMapper, StripeLocation
+from .config import RaiznConfig
+from .maintenance import (
+    needs_generation_maintenance,
+    rewrite_physical_zone,
+    run_generation_maintenance,
+    zones_needing_rewrite,
+)
+from .metadata import MetadataEntry, MetadataType, Superblock
+from .parity import reconstruct_unit, stripe_parity, xor_buffers, xor_into
+from .rebuild import RebuildReport, rebuild, rebuild_process
+from .recovery import mount, mount_process
+from .relocation import RelocationStore
+from .stripebuf import StripeBuffer, StripeBufferPool
+from .volume import RaiznVolume
+
+__all__ = [
+    "AddressMapper",
+    "StripeLocation",
+    "RaiznConfig",
+    "MetadataEntry",
+    "MetadataType",
+    "Superblock",
+    "reconstruct_unit",
+    "stripe_parity",
+    "xor_buffers",
+    "xor_into",
+    "RebuildReport",
+    "rebuild",
+    "rebuild_process",
+    "mount",
+    "mount_process",
+    "RelocationStore",
+    "StripeBuffer",
+    "StripeBufferPool",
+    "RaiznVolume",
+    "needs_generation_maintenance",
+    "rewrite_physical_zone",
+    "run_generation_maintenance",
+    "zones_needing_rewrite",
+]

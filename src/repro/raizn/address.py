@@ -1,0 +1,159 @@
+"""Logical↔physical address translation (paper §4.1).
+
+Each LBA is statically mapped to a device and PBA by arithmetic alone, so
+reads need no lookups.  Data is striped RAID-5 style with the parity
+device rotating every stripe; the rotation also folds in the logical zone
+index so that the device holding a zone's *first* stripe unit differs for
+successive zones — the property §5.2 relies on to spread zone-reset-log
+write amplification uniformly.
+
+Terminology (matching the paper):
+
+* LBA — byte offset in the RAIZN logical volume address space.
+* PBA — byte offset in one physical device's address space.
+* stripe unit (SU) — the contiguous chunk each device contributes to a
+  stripe (64 KiB by default).
+* logical zone — one physical zone per device; user capacity D zones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from ..errors import InvalidAddressError
+from .config import RaiznConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class StripeLocation:
+    """Where one logical stripe lives across the array."""
+
+    zone: int            # logical zone index
+    stripe: int          # stripe index within the zone
+    parity_device: int   # device holding this stripe's parity SU
+    data_devices: Tuple[int, ...]  # device of data SU 0..D-1, in order
+
+    @property
+    def index_in_zone(self) -> int:
+        return self.stripe
+
+
+class AddressMapper:
+    """Pure-arithmetic translation between LBAs and device PBAs."""
+
+    def __init__(self, config: RaiznConfig, physical_zone_capacity: int,
+                 num_data_zones: int):
+        self.config = config
+        self.phys_zone_capacity = physical_zone_capacity
+        self.phys_zone_size = physical_zone_capacity  # simulator: size == cap
+        self.num_data_zones = num_data_zones
+        self.su = config.stripe_unit_bytes
+        self.stripe_width = config.stripe_width_bytes
+        self.zone_capacity = config.logical_zone_capacity(physical_zone_capacity)
+        self.stripes_per_zone = config.stripes_per_zone(physical_zone_capacity)
+
+    # -- logical geometry ----------------------------------------------------
+
+    @property
+    def logical_capacity(self) -> int:
+        """Total user-visible bytes."""
+        return self.zone_capacity * self.num_data_zones
+
+    def zone_of(self, lba: int) -> int:
+        """Logical zone index containing ``lba``."""
+        if not 0 <= lba < self.logical_capacity:
+            raise InvalidAddressError(f"LBA {lba:#x} outside volume")
+        return lba // self.zone_capacity
+
+    def zone_start(self, zone: int) -> int:
+        """First LBA of logical zone ``zone``."""
+        return zone * self.zone_capacity
+
+    # -- stripe layout ---------------------------------------------------------
+
+    def stripe_layout(self, zone: int, stripe: int) -> StripeLocation:
+        """Device assignment for one stripe (left-symmetric rotation)."""
+        n = self.config.num_devices
+        rotation = (stripe + zone) % n
+        parity_device = (n - 1 - rotation) % n
+        data_devices = tuple((parity_device + 1 + i) % n
+                             for i in range(self.config.num_data))
+        return StripeLocation(zone=zone, stripe=stripe,
+                              parity_device=parity_device,
+                              data_devices=data_devices)
+
+    def stripe_of(self, lba: int) -> StripeLocation:
+        """The stripe containing ``lba``."""
+        zone = self.zone_of(lba)
+        offset = lba - self.zone_start(zone)
+        return self.stripe_layout(zone, offset // self.stripe_width)
+
+    # -- LBA -> device/PBA ----------------------------------------------------------
+
+    def lba_to_pba(self, lba: int) -> Tuple[int, int]:
+        """Map one LBA to ``(device_index, pba)``."""
+        zone = self.zone_of(lba)
+        offset = lba - self.zone_start(zone)
+        stripe = offset // self.stripe_width
+        in_stripe = offset % self.stripe_width
+        su_index = in_stripe // self.su
+        in_su = in_stripe % self.su
+        layout = self.stripe_layout(zone, stripe)
+        device = layout.data_devices[su_index]
+        pba = zone * self.phys_zone_size + stripe * self.su + in_su
+        return device, pba
+
+    def parity_pba(self, zone: int, stripe: int) -> Tuple[int, int]:
+        """``(device_index, pba)`` of the parity SU of a stripe."""
+        layout = self.stripe_layout(zone, stripe)
+        pba = zone * self.phys_zone_size + stripe * self.su
+        return layout.parity_device, pba
+
+    def su_lba(self, zone: int, stripe: int, su_index: int) -> int:
+        """First LBA of data stripe unit ``su_index`` in a stripe."""
+        return (self.zone_start(zone) + stripe * self.stripe_width
+                + su_index * self.su)
+
+    def split_extent(self, lba: int, length: int) -> List[Tuple[int, int, int]]:
+        """Split ``[lba, lba+length)`` into per-device contiguous pieces.
+
+        Returns ``[(device, pba, length), ...]`` in LBA order; each piece
+        stays within one stripe unit, the granularity at which contiguity
+        on a single device is guaranteed.
+        """
+        if length <= 0:
+            raise InvalidAddressError(f"non-positive extent length {length}")
+        pieces = []
+        position = lba
+        remaining = length
+        while remaining > 0:
+            device, pba = self.lba_to_pba(position)
+            in_su = position % self.su
+            take = min(remaining, self.su - in_su)
+            pieces.append((device, pba, take))
+            position += take
+            remaining -= take
+        return pieces
+
+    # -- device PBA -> LBA (used by rebuild and recovery) ---------------------------
+
+    def pba_to_lba(self, device: int, pba: int) -> Tuple[int, bool]:
+        """Map a device PBA back to ``(lba, is_parity)``.
+
+        For parity stripe units, the returned LBA is the first LBA of the
+        owning stripe and ``is_parity`` is True.
+        """
+        zone = pba // self.phys_zone_size
+        if zone >= self.num_data_zones:
+            raise InvalidAddressError(
+                f"PBA {pba:#x} is in a metadata zone, not the data area")
+        in_zone = pba - zone * self.phys_zone_size
+        stripe = in_zone // self.su
+        in_su = in_zone % self.su
+        layout = self.stripe_layout(zone, stripe)
+        stripe_lba = self.zone_start(zone) + stripe * self.stripe_width
+        if device == layout.parity_device:
+            return stripe_lba, True
+        su_index = layout.data_devices.index(device)
+        return stripe_lba + su_index * self.su + in_su, False

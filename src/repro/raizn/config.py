@@ -1,0 +1,73 @@
+"""RAIZN array configuration (paper §4).
+
+An array is ``D`` data stripe units plus ``P`` parity stripe units per
+stripe, over ``D + P`` identical ZNS devices.  Each device reserves
+``num_metadata_zones`` physical zones at the top of its address space:
+one for partial parity, one for general metadata, and at least one swap
+zone for metadata garbage collection (§4.3, minimum of 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import RaiznError
+from ..units import KiB, SECTOR_SIZE
+
+
+@dataclasses.dataclass(frozen=True)
+class RaiznConfig:
+    """Static parameters of a RAIZN array."""
+
+    #: Data stripe units per stripe (D).
+    num_data: int = 4
+    #: Parity stripe units per stripe (P); this implementation is RAID-5
+    #: style, so P must be 1.
+    num_parity: int = 1
+    #: Stripe unit ("chunk") size in bytes; the paper settles on 64 KiB.
+    stripe_unit_bytes: int = 64 * KiB
+    #: Metadata zones reserved per device (>= 3: partial parity, general,
+    #: and at least one swap zone, §4.3).
+    num_metadata_zones: int = 3
+    #: Pre-allocated stripe buffers per open logical zone (§5.1; 8 in the
+    #: paper's experiments).
+    stripe_buffers_per_zone: int = 8
+    #: Relocated-stripe-unit count per physical zone beyond which the zone
+    #: is rewritten during initialization (§5.2, "user-modifiable
+    #: threshold").
+    relocation_rebuild_threshold: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_parity != 1:
+            raise RaiznError("only P=1 (RAID-5 style) parity is supported")
+        if self.num_data < 2:
+            raise RaiznError("need at least 2 data stripe units per stripe")
+        if self.stripe_unit_bytes % SECTOR_SIZE:
+            raise RaiznError("stripe unit must be a multiple of the sector size")
+        if self.num_metadata_zones < 3:
+            raise RaiznError(
+                "need >= 3 metadata zones per device "
+                "(partial parity + general + swap)")
+        if self.stripe_buffers_per_zone < 1:
+            raise RaiznError("need at least one stripe buffer per open zone")
+
+    @property
+    def num_devices(self) -> int:
+        """Total array width, D + P."""
+        return self.num_data + self.num_parity
+
+    @property
+    def stripe_width_bytes(self) -> int:
+        """User data bytes per stripe (parity excluded)."""
+        return self.num_data * self.stripe_unit_bytes
+
+    def logical_zone_capacity(self, physical_zone_capacity: int) -> int:
+        """User-visible capacity of one logical zone (§4.1: D physical zones)."""
+        if physical_zone_capacity % self.stripe_unit_bytes:
+            raise RaiznError(
+                "physical zone capacity must be a multiple of the stripe unit")
+        return self.num_data * physical_zone_capacity
+
+    def stripes_per_zone(self, physical_zone_capacity: int) -> int:
+        """Number of stripes that fit in one logical zone."""
+        return physical_zone_capacity // self.stripe_unit_bytes

@@ -1,0 +1,221 @@
+"""Maintenance operations (paper §4.3, §5.2).
+
+Two multi-step operations need write-ahead logging so they can resume
+after power loss:
+
+* **Physical zone rewrite** (§5.2): when a physical zone accumulates more
+  relocated stripe units than the configured threshold, its live contents
+  are copied into a swap zone, the zone is reset, and the data is written
+  back with every relocated stripe unit at its correct address — healing
+  the relocations.  Runs during initialization.
+
+* **Generation counter maintenance** (§4.3): if any counter reaches its
+  maximum, the volume goes read-only; maintenance garbage collects and
+  resets all metadata zones, then resets the counters.  The atomicity of
+  the operation (WAL + idempotent re-run) lets counters restart without
+  impacting data consistency.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from ..block.bio import Bio
+from ..errors import MetadataError, RaiznError
+from ..sim import Simulator
+from .mdzone import MetadataRole
+from .metadata import MetadataEntry, MetadataType, decode_op_wal, encode_op_wal
+
+#: OP_WAL opcodes.
+OP_ZONE_REWRITE_START = 1   # copy phase beginning (original intact)
+OP_ZONE_REWRITE_COPIED = 2  # swap copy durable; original may be destroyed
+OP_GEN_MAINTENANCE = 3      # generation counter maintenance in progress
+
+_REWRITE = struct.Struct("<QQQ")  # device, zone, content length
+
+
+def encode_rewrite_wal(opcode: int, device: int, zone: int, length: int,
+                       generation: int) -> MetadataEntry:
+    """A zone-rewrite WAL entry."""
+    return encode_op_wal(opcode, _REWRITE.pack(device, zone, length),
+                         generation=generation)
+
+
+def decode_rewrite_wal(entry: MetadataEntry) -> Tuple[int, int, int, int]:
+    """Returns ``(opcode, device, zone, content_length)``."""
+    opcode, payload = decode_op_wal(entry)
+    device, zone, length = _REWRITE.unpack_from(payload)
+    return opcode, device, zone, length
+
+
+def zones_needing_rewrite(volume) -> List[Tuple[int, int]]:
+    """(device, zone) pairs whose relocation count exceeds the threshold."""
+    threshold = volume.config.relocation_rebuild_threshold
+    return sorted(key for key, count in
+                  volume.relocations.per_phys_zone.items()
+                  if count >= threshold)
+
+
+def rewrite_physical_zone(volume, device_index: int, zone: int,
+                          resume_length: Optional[int] = None):
+    """Process-style §5.2 zone rewrite for one (device, zone).
+
+    ``resume_length`` indicates a crash-interrupted rewrite whose swap
+    copy (of that many bytes) is already durable; the copy phase is
+    skipped and the write-back redone.
+    """
+    sim = volume.sim
+    device = volume.devices[device_index]
+    if device is None or volume.failed[device_index]:
+        raise RaiznError("cannot rewrite a zone on a missing device")
+    mdz = volume.mdzones[device_index]
+    if not mdz.swap_zones:
+        raise MetadataError("no swap zone available for a zone rewrite")
+    swap = mdz.swap_zones[0]
+    swap_start = swap * volume.phys_zone_size
+    zone_pba = zone * volume.phys_zone_size
+    generation = volume.generation[zone]
+
+    if resume_length is None:
+        content = yield from _desired_content(volume, device_index, zone)
+        # Stage 1: log intent, copy into the swap zone, make it durable.
+        yield from mdz.append(MetadataRole.GENERAL, encode_rewrite_wal(
+            OP_ZONE_REWRITE_START, device_index, zone, len(content),
+            generation), fua=True)
+        swap_info = device.zone_info(swap)
+        if swap_info.write_pointer != swap_info.start:
+            yield device.submit(Bio.zone_reset(swap_start))
+        if content:
+            yield device.submit(Bio.write(swap_start, content))
+        yield device.submit(Bio.flush())
+        yield from mdz.append(MetadataRole.GENERAL, encode_rewrite_wal(
+            OP_ZONE_REWRITE_COPIED, device_index, zone, len(content),
+            generation), fua=True)
+    else:
+        if resume_length:
+            bio = yield device.submit(Bio.read(swap_start, resume_length))
+            content = bio.result
+        else:
+            content = b""
+
+    # Stage 2: destroy and rewrite the zone with the corrected layout.
+    yield device.submit(Bio.zone_reset(zone_pba))
+    if content:
+        yield device.submit(Bio.write(zone_pba, content))
+    yield device.submit(Bio.flush())
+    yield device.submit(Bio.zone_reset(swap_start))
+    mdz.used[swap] = 0
+
+    # The relocations this device held in the zone are healed in place.
+    pdesc = volume.phys[device_index][zone]
+    pdesc.write_pointer = zone_pba + len(content)
+    _drop_healed_relocations(volume, device_index, zone)
+    return len(content)
+
+
+def _desired_content(volume, device_index: int, zone: int):
+    """The corrected byte image of one device's physical zone.
+
+    Regenerated through the volume's logical read path (which consults
+    relocation units and relocated parity), exactly like a rebuild — the
+    only difference is that the destination device is the same one.
+    """
+    from .rebuild import _device_target_extent, _parity_of
+    desc = volume.zone_descs[zone]
+    su = volume.config.stripe_unit_bytes
+    target = _device_target_extent(volume, device_index, zone,
+                                   desc.write_pointer)
+    out = bytearray()
+    position = 0
+    while position < target:
+        stripe = position // su
+        layout = volume.mapper.stripe_layout(zone, stripe)
+        stripe_lba = desc.start_lba + stripe * desc.stripe_width
+        read_len = min(desc.stripe_width, desc.write_pointer - stripe_lba)
+        bio = yield volume.submit(Bio.read(stripe_lba, read_len))
+        if device_index == layout.parity_device:
+            chunk = _parity_of(bio.result, volume.config.num_data, su)
+        else:
+            i = layout.data_devices.index(device_index)
+            chunk = bio.result[i * su:min((i + 1) * su, read_len)]
+        take = min(len(chunk), target - position)
+        out.extend(chunk[:take])
+        position += take
+    return bytes(out)
+
+
+def _drop_healed_relocations(volume, device_index: int, zone: int) -> None:
+    desc = volume.zone_descs[zone]
+    doomed = [unit.su_lba for unit in
+              volume.relocations.units_on_device(device_index)
+              if volume.mapper.zone_of(unit.su_lba) == zone]
+    for su_lba in doomed:
+        volume.relocations._units.pop(su_lba, None)
+    volume.relocations.rebuild_counters(
+        lambda unit: volume.mapper.zone_of(unit.su_lba))
+    for key in [k for k in volume.relocated_parity if k[0] == zone
+                and volume.mapper.stripe_layout(zone, k[1]).parity_device
+                == device_index]:
+        del volume.relocated_parity[key]
+    desc.has_relocations = any(
+        volume.mapper.zone_of(unit.su_lba) == zone
+        for unit in volume.relocations.units())
+
+
+def run_pending_rewrites(volume):
+    """Process-style: rewrite every over-threshold zone (mount time)."""
+    rewritten = []
+    for device_index, zone in zones_needing_rewrite(volume):
+        yield from rewrite_physical_zone(volume, device_index, zone)
+        rewritten.append((device_index, zone))
+    return rewritten
+
+
+# -- generation counter maintenance (§4.3) ------------------------------------
+
+
+GENERATION_LIMIT = 2 ** 64 - 1
+
+
+def needs_generation_maintenance(volume) -> bool:
+    """True when any counter is at (or one step from) its maximum."""
+    return any(g >= GENERATION_LIMIT - 1 for g in volume.generation)
+
+
+def run_generation_maintenance(sim: Simulator, volume):
+    """Process-style §4.3 maintenance: reset every generation counter.
+
+    The caller must hold the volume read-only (the volume enters that
+    state automatically on counter overflow).  Idempotent — a crash at
+    any point re-runs the whole operation at the next mount, guided by
+    the OP_GEN_MAINTENANCE write-ahead log.
+    """
+    if not volume.read_only:
+        raise RaiznError("generation maintenance requires a read-only volume")
+    # WAL the intent on every device before mutating anything.
+    events = []
+    for index in volume._alive_devices():
+        events.append(sim.process(volume.mdzones[index].append(
+            MetadataRole.GENERAL,
+            encode_op_wal(OP_GEN_MAINTENANCE, b"", generation=0),
+            fua=True)))
+    yield sim.all_of(events)
+    # New counters first, so the compaction checkpoints carry them; every
+    # stale metadata entry (old, huge generations) dies with the old
+    # metadata zones — the guarantee that lets counters restart (§4.3).
+    volume.generation = [1] * volume.num_data_zones
+    for index in volume._alive_devices():
+        yield from volume.mdzones[index].recovery_compact()
+    volume.read_only = False
+    return True
+
+
+def find_maintenance_wal(entries) -> bool:
+    """True if a generation-maintenance WAL entry is present."""
+    for entry in entries:
+        if entry.mdtype is MetadataType.OP_WAL:
+            opcode, _payload = decode_op_wal(entry)
+            if opcode == OP_GEN_MAINTENANCE:
+                return True
+    return False

@@ -1,0 +1,68 @@
+"""XOR parity arithmetic over real byte buffers.
+
+All parity in RAIZN is single-parity XOR (RAID-5 style).  numpy is used so
+the 64 KiB stripe-unit XORs that dominate the write path stay cheap in the
+simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+def xor_into(accumulator: bytearray, data: bytes, offset: int = 0) -> None:
+    """``accumulator[offset:offset+len(data)] ^= data`` in place."""
+    end = offset + len(data)
+    if end > len(accumulator):
+        raise ValueError(
+            f"xor range [{offset}, {end}) exceeds buffer of {len(accumulator)}")
+    acc_view = np.frombuffer(accumulator, dtype=np.uint8, count=len(data),
+                             offset=offset)
+    src = np.frombuffer(data, dtype=np.uint8)
+    np.bitwise_xor(acc_view, src, out=acc_view)
+
+
+def xor_buffers(buffers: Sequence[bytes]) -> bytes:
+    """XOR of equal-length buffers; with one buffer, a copy of it."""
+    if not buffers:
+        raise ValueError("xor_buffers requires at least one buffer")
+    length = len(buffers[0])
+    for buf in buffers:
+        if len(buf) != length:
+            raise ValueError("xor_buffers requires equal-length buffers")
+    out = bytearray(buffers[0])
+    for buf in buffers[1:]:
+        xor_into(out, buf)
+    return bytes(out)
+
+
+def stripe_parity(data_units: Iterable[bytes], unit_size: int) -> bytes:
+    """Full parity stripe unit for a stripe's data units.
+
+    Units shorter than ``unit_size`` are zero-padded — the rule §5.1 uses
+    when computing parity for stripes whose tail is unwritten ("data after
+    this address is treated as zeroes").
+    """
+    parity = bytearray(unit_size)
+    for unit in data_units:
+        if len(unit) > unit_size:
+            raise ValueError("data unit longer than the stripe unit size")
+        if unit:
+            xor_into(parity, unit)
+    return bytes(parity)
+
+
+def reconstruct_unit(surviving_units: Sequence[bytes], parity: bytes,
+                     unit_size: Optional[int] = None) -> bytes:
+    """Recover a missing stripe unit from the survivors plus parity."""
+    unit_size = unit_size if unit_size is not None else len(parity)
+    out = bytearray(unit_size)
+    xor_into(out, parity[:unit_size])
+    for unit in surviving_units:
+        if len(unit) > unit_size:
+            raise ValueError("surviving unit longer than the stripe unit size")
+        if unit:
+            xor_into(out, unit)
+    return bytes(out)

@@ -1,0 +1,134 @@
+"""Stripe buffers: in-memory caches of partially written stripes (§5.1).
+
+A stripe buffer lets RAIZN recompute parity for a growing stripe without
+reading the devices.  The ZNS open-zone limit bounds the number of
+incomplete stripes, so buffers are pre-allocated per open logical zone
+(8 in the paper's experiments) and write processing blocks when all are
+occupied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import RaiznError
+from .parity import stripe_parity, xor_into
+
+
+class StripeBuffer:
+    """Data of one in-flight stripe, filled strictly left to right."""
+
+    __slots__ = ("zone", "stripe", "num_data", "su", "data", "fill_end")
+
+    def __init__(self, zone: int, stripe: int, num_data: int, su: int):
+        self.zone = zone
+        self.stripe = stripe
+        self.num_data = num_data
+        self.su = su
+        self.data = bytearray(num_data * su)
+        #: Bytes filled from the start of the stripe (writes are sequential).
+        self.fill_end = 0
+
+    @property
+    def width(self) -> int:
+        return self.num_data * self.su
+
+    @property
+    def full(self) -> bool:
+        return self.fill_end == self.width
+
+    def absorb(self, offset: int, chunk: bytes) -> None:
+        """Copy ``chunk`` at stripe-relative ``offset`` into the buffer."""
+        if offset != self.fill_end:
+            raise RaiznError(
+                f"non-sequential stripe fill: offset {offset} != fill "
+                f"end {self.fill_end} (zone {self.zone} stripe {self.stripe})")
+        end = offset + len(chunk)
+        if end > self.width:
+            raise RaiznError("stripe buffer overflow")
+        self.data[offset:end] = chunk
+        self.fill_end = end
+
+    def full_parity(self) -> bytes:
+        """Parity SU over the (zero-padded) current contents."""
+        view = memoryview(self.data)
+        units = [view[i * self.su:(i + 1) * self.su]
+                 for i in range(self.num_data)]
+        return stripe_parity(units, self.su)
+
+    def data_unit(self, su_index: int) -> bytes:
+        """Contents of data SU ``su_index`` (zero-padded past the fill end)."""
+        return bytes(self.data[su_index * self.su:(su_index + 1) * self.su])
+
+    @staticmethod
+    def delta_parity(offset: int, chunk: bytes, su: int) -> Tuple[int, bytes]:
+        """Parity contribution of one chunk, as ``(parity_offset, delta)``.
+
+        The chunk occupies stripe-relative ``[offset, offset+len)`` and may
+        span stripe units; its contribution folds each covered unit into
+        SU-relative parity positions.  The returned delta is trimmed to the
+        affected interval, minimizing the log footprint ("RAIZN only logs
+        the subset of parity that is affected by the write", §5.1).
+        """
+        if not chunk:
+            raise RaiznError("empty chunk has no parity contribution")
+        acc = bytearray(su)
+        lo, hi = su, 0
+        position = 0
+        while position < len(chunk):
+            in_su = (offset + position) % su
+            take = min(len(chunk) - position, su - in_su)
+            xor_into(acc, chunk[position:position + take], in_su)
+            lo = min(lo, in_su)
+            hi = max(hi, in_su + take)
+            position += take
+        return lo, bytes(acc[lo:hi])
+
+
+class StripeBufferPool:
+    """The fixed-size pool of stripe buffers for one logical zone.
+
+    ``acquire`` returns an existing buffer for a stripe or allocates a new
+    one; allocation fails (returns None) when all slots are occupied, in
+    which case the write path must wait for a release — the paper
+    pre-allocates 8 buffers per open zone and "blocks write processing if
+    all stripe buffers are occupied".
+    """
+
+    def __init__(self, zone: int, num_data: int, su: int, capacity: int):
+        self.zone = zone
+        self.num_data = num_data
+        self.su = su
+        self.capacity = capacity
+        self._buffers: Dict[int, StripeBuffer] = {}
+
+    def get(self, stripe: int) -> Optional[StripeBuffer]:
+        """The buffer for ``stripe`` if one is active."""
+        return self._buffers.get(stripe)
+
+    def acquire(self, stripe: int) -> Optional[StripeBuffer]:
+        """The buffer for ``stripe``, allocating if a slot is free."""
+        buffer = self._buffers.get(stripe)
+        if buffer is not None:
+            return buffer
+        if len(self._buffers) >= self.capacity:
+            return None
+        buffer = StripeBuffer(self.zone, stripe, self.num_data, self.su)
+        self._buffers[stripe] = buffer
+        return buffer
+
+    def release(self, stripe: int) -> None:
+        """Free the slot held by ``stripe`` (after its full parity is safe)."""
+        self._buffers.pop(stripe, None)
+
+    def active(self) -> List[StripeBuffer]:
+        """All currently held buffers, in stripe order."""
+        return [self._buffers[s] for s in sorted(self._buffers)]
+
+    def clear(self) -> None:
+        """Drop every buffer (zone reset)."""
+        self._buffers.clear()
+
+    @property
+    def occupied(self) -> int:
+        return len(self._buffers)

@@ -1,0 +1,944 @@
+"""The RAIZN logical volume (paper §4–§5).
+
+``RaiznVolume`` exposes a single logical host-managed zoned device over an
+array of ZNS devices, striping data RAID-5 style with rotated parity.  It
+accepts the same ``Bio`` vocabulary as a physical device, so any
+ZNS-compatible layer (the fio-like workload driver, the F2FS-like
+filesystem) runs unmodified on a volume.
+
+The write path mirrors the kernel implementation's ordering discipline:
+logical requests are validated and their sub-IOs generated *in submission
+order* (the simulator's synchronous-submit model plays the role of §4.3's
+write-pointer-matching worker threads), while completions — and the
+FUA/flush persistence protocol of §5.3 — are handled asynchronously.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..block.bio import Bio, BioFlags, Op
+from ..block.device import DeviceStats
+from ..errors import (
+    DataLossError,
+    DeviceError,
+    InvalidAddressError,
+    RaiznError,
+    ReadUnwrittenError,
+    VolumeStateError,
+    WritePointerViolation,
+    ZoneStateError,
+)
+from ..sim import Event, Simulator
+from ..zns.device import ZNSDevice
+from ..zns.spec import ZoneInfo, ZoneState
+from .address import AddressMapper
+from .config import RaiznConfig
+from .mdzone import DeviceMetadataZones, MetadataRole
+from .metadata import (
+    GENERATION_BLOCK_COUNTERS,
+    MetadataEntry,
+    Superblock,
+    encode_generation_block,
+    encode_partial_parity,
+    encode_relocated_su,
+    encode_zone_reset,
+)
+from .parity import xor_into
+from .relocation import RelocationStore
+from .stripebuf import StripeBuffer
+from .zonedesc import LogicalZoneDesc, PhysicalZoneDesc
+
+SUPERBLOCK_VERSION = 1
+
+
+class RebuildState:
+    """Progress of an in-flight device rebuild (§4.2)."""
+
+    def __init__(self, device_index: int):
+        self.device_index = device_index
+        self.rebuilt_zones: Set[int] = set()
+        self.bytes_rebuilt = 0
+        self.done = False
+
+
+class RaiznVolume:
+    """A logical ZNS volume striped over an array of ZNS devices."""
+
+    def __init__(self, sim: Simulator, devices: List[Optional[ZNSDevice]],
+                 config: RaiznConfig, array_uuid: bytes):
+        if len(devices) != config.num_devices:
+            raise RaiznError(
+                f"config wants {config.num_devices} devices, got {len(devices)}")
+        template = next(d for d in devices if d is not None)
+        for dev in devices:
+            if dev is None:
+                continue
+            if (dev.num_zones != template.num_zones
+                    or dev.zone_capacity != template.zone_capacity
+                    or dev.zone_size != template.zone_size):
+                raise RaiznError("array devices must have identical geometry")
+        self.sim = sim
+        self.devices: List[Optional[ZNSDevice]] = list(devices)
+        self.config = config
+        self.array_uuid = array_uuid
+        self.num_data_zones = template.num_zones - config.num_metadata_zones
+        if self.num_data_zones < 1:
+            raise RaiznError("devices too small for the metadata reservation")
+        self.mapper = AddressMapper(config, template.zone_capacity,
+                                    self.num_data_zones)
+        self.phys_zone_size = template.zone_size
+        self.phys_zone_capacity = template.zone_capacity
+
+        self.zone_descs = [
+            LogicalZoneDesc(z, self.mapper.zone_start(z),
+                            self.mapper.zone_capacity, config.num_data,
+                            config.stripe_unit_bytes,
+                            config.stripe_buffers_per_zone)
+            for z in range(self.num_data_zones)
+        ]
+        self.phys: List[List[PhysicalZoneDesc]] = [
+            [PhysicalZoneDesc(d, z, z * self.phys_zone_size)
+             for z in range(template.num_zones)]
+            for d in range(config.num_devices)
+        ]
+        self.generation = [1] * self.num_data_zones
+        md_indices = list(range(self.num_data_zones, template.num_zones))
+        self.mdzones: List[Optional[DeviceMetadataZones]] = [
+            DeviceMetadataZones(sim, dev, i, md_indices, self.phys_zone_size,
+                                self.phys_zone_capacity, self._checkpoint)
+            if dev is not None else None
+            for i, dev in enumerate(self.devices)
+        ]
+        self.relocations = RelocationStore(config.stripe_unit_bytes)
+        #: Full parity of stripes whose parity SU could not be written in
+        #: place (stale data occupies its PBA after a rollback recovery).
+        #: Persisted via partial-parity log entries; keyed (zone, stripe).
+        self.relocated_parity: Dict[Tuple[int, int], bytes] = {}
+        self.failed: List[bool] = [dev is None for dev in self.devices]
+        self.rebuild_state: Optional[RebuildState] = None
+        self.read_only = False
+        self.stats = DeviceStats()
+        #: Pending (bio, done) pairs per zone blocked by an in-flight reset.
+        self._reset_pending: Dict[int, List[Tuple[Bio, Event]]] = {}
+        # Logical open-zone budget: each device spends open slots on its
+        # partial-parity and general metadata zones.
+        self.max_open_logical = max(1, template.max_open_zones - 2)
+        self._open_logical = 0
+
+    # ------------------------------------------------------------------ geometry
+
+    @property
+    def capacity(self) -> int:
+        """User-visible bytes."""
+        return self.mapper.logical_capacity
+
+    @property
+    def zone_capacity(self) -> int:
+        """Bytes per logical zone (D physical zone capacities)."""
+        return self.mapper.zone_capacity
+
+    @property
+    def num_zones(self) -> int:
+        return self.num_data_zones
+
+    def zone_info(self, zone: int) -> ZoneInfo:
+        """Logical zone report entry."""
+        desc = self.zone_descs[zone]
+        return ZoneInfo(index=zone, start=desc.start_lba,
+                        capacity=desc.capacity,
+                        write_pointer=desc.write_pointer, state=desc.state)
+
+    def report_zones(self) -> List[ZoneInfo]:
+        """Logical zone report for the whole volume."""
+        return [self.zone_info(z) for z in range(self.num_data_zones)]
+
+    # ------------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def create(cls, sim: Simulator, devices: List[ZNSDevice],
+               config: Optional[RaiznConfig] = None) -> "RaiznVolume":
+        """Format ``devices`` into a fresh RAIZN array.
+
+        Resets every zone, assigns device indices, and persists the
+        superblock and initial generation counters to every device.
+        Drains the event loop before returning.
+        """
+        config = config or RaiznConfig(num_data=len(devices) - 1)
+        volume = cls(sim, list(devices), config, array_uuid=os.urandom(16))
+        sim.run_process(volume._format())
+        return volume
+
+    def _format(self):
+        for index, dev in enumerate(self.devices):
+            assert dev is not None
+            for info in dev.report_zones():
+                if info.state is not ZoneState.EMPTY:
+                    yield dev.submit(Bio.zone_reset(info.start))
+        events = []
+        for index in range(len(self.devices)):
+            superblock = Superblock(
+                version=SUPERBLOCK_VERSION, num_data=self.config.num_data,
+                num_parity=self.config.num_parity,
+                stripe_unit_bytes=self.config.stripe_unit_bytes,
+                num_zones=self.devices[index].num_zones,
+                zone_capacity=self.phys_zone_capacity,
+                num_metadata_zones=self.config.num_metadata_zones,
+                device_index=index, array_uuid=self.array_uuid)
+            events.append(self.sim.process(self.mdzones[index].append(
+                MetadataRole.GENERAL, superblock.to_entry(), fua=True)))
+        events.extend(self._persist_generation())
+        yield self.sim.all_of(events)
+
+    # ------------------------------------------------------------------ submission
+
+    def submit(self, bio: Bio) -> Event:
+        """Submit a logical bio; the event succeeds with the completed bio."""
+        bio.submit_time = self.sim.now
+        done = self.sim.event()
+        try:
+            self._dispatch(bio, done)
+        except (RaiznError, DeviceError) as exc:
+            self.sim.schedule(0.0, done.fail, exc)
+        return done
+
+    def execute(self, bio: Bio) -> Bio:
+        """Synchronously run one bio to completion (drains the event loop)."""
+        done = self.submit(bio)
+        self.sim.run()
+        if not done.triggered:
+            raise RaiznError("logical bio never completed")
+        if not done.ok:
+            raise done.value
+        return done.value
+
+    def _dispatch(self, bio: Bio, done: Event) -> None:
+        bio.check_alignment()
+        if bio.op in (Op.WRITE, Op.ZONE_APPEND):
+            if self.read_only:
+                raise VolumeStateError("volume is read-only")
+            zone = self.mapper.zone_of(bio.offset)
+            desc = self.zone_descs[zone]
+            if desc.reset_in_progress:
+                self._reset_pending.setdefault(zone, []).append((bio, done))
+                return
+            self._start_write(bio, done)
+        elif bio.op == Op.READ:
+            self._start_read(bio, done)
+        elif bio.op == Op.FLUSH:
+            self.sim.process(self._run_flush(bio, done))
+        elif bio.op == Op.ZONE_RESET:
+            if self.read_only:
+                raise VolumeStateError("volume is read-only")
+            self._start_reset(bio, done)
+        elif bio.op == Op.ZONE_FINISH:
+            self.sim.process(self._run_finish(bio, done))
+        elif bio.op == Op.ZONE_OPEN:
+            self.sim.process(self._run_open_close(bio, done, explicit_open=True))
+        elif bio.op == Op.ZONE_CLOSE:
+            self.sim.process(self._run_open_close(bio, done, explicit_open=False))
+        else:
+            raise ZoneStateError(f"unsupported logical op: {bio.op}")
+
+    # ------------------------------------------------------------------ helpers
+
+    def _device_available(self, index: int, zone: int) -> bool:
+        """Can device ``index`` serve IO for logical zone ``zone``?"""
+        if self.failed[index] or self.devices[index] is None:
+            return False
+        state = self.rebuild_state
+        if state is not None and state.device_index == index \
+                and not state.done and zone not in state.rebuilt_zones:
+            return False
+        return True
+
+    def _alive_devices(self) -> List[int]:
+        return [i for i in range(len(self.devices)) if not self.failed[i]
+                and self.devices[i] is not None]
+
+    def _su_device(self, zone: int, su_index_in_zone: int) -> int:
+        """Device holding data SU number ``su_index_in_zone`` of a zone."""
+        stripe = su_index_in_zone // self.config.num_data
+        i = su_index_in_zone % self.config.num_data
+        return self.mapper.stripe_layout(zone, stripe).data_devices[i]
+
+    def _persist_generation(self, fua: bool = False) -> List[Event]:
+        """Append the generation-counter block(s) to every live device."""
+        events = []
+        for first in range(0, self.num_data_zones, GENERATION_BLOCK_COUNTERS):
+            counters = self.generation[first:first + GENERATION_BLOCK_COUNTERS]
+            for index in self._alive_devices():
+                entry = encode_generation_block(first, list(counters))
+                events.append(self.sim.process(self.mdzones[index].append(
+                    MetadataRole.GENERAL, entry, fua=fua)))
+        return events
+
+    def _checkpoint(self, role: MetadataRole,
+                    device_index: int) -> List[MetadataEntry]:
+        """Live metadata to checkpoint during metadata GC (§4.3, Figure 4)."""
+        entries: List[MetadataEntry] = []
+        if role is MetadataRole.GENERAL:
+            superblock = Superblock(
+                version=SUPERBLOCK_VERSION, num_data=self.config.num_data,
+                num_parity=self.config.num_parity,
+                stripe_unit_bytes=self.config.stripe_unit_bytes,
+                num_zones=self.num_data_zones + self.config.num_metadata_zones,
+                zone_capacity=self.phys_zone_capacity,
+                num_metadata_zones=self.config.num_metadata_zones,
+                device_index=device_index, array_uuid=self.array_uuid)
+            entries.append(superblock.to_entry())
+            for first in range(0, self.num_data_zones,
+                               GENERATION_BLOCK_COUNTERS):
+                counters = self.generation[
+                    first:first + GENERATION_BLOCK_COUNTERS]
+                entries.append(encode_generation_block(first, list(counters)))
+            for unit in self.relocations.units_on_device(device_index):
+                zone = self.mapper.zone_of(unit.su_lba)
+                # The zero-length marker records that this SU is
+                # relocated even when nothing has been written into it
+                # yet — without it, a crash after this checkpoint could
+                # resurrect the stale on-device bytes.
+                entries.append(encode_relocated_su(
+                    unit.su_lba, b"", self.generation[zone]))
+                for lo, hi in unit.extents:
+                    entries.append(encode_relocated_su(
+                        unit.su_lba + lo, bytes(unit.buffer[lo:hi]),
+                        self.generation[zone]))
+        else:
+            # Partial parity: serialize the cumulative parity of every
+            # incomplete stripe buffer whose parity lives on this device.
+            for desc in self.zone_descs:
+                for buffer in desc.buffers.active():
+                    if buffer.fill_end == 0 or buffer.full:
+                        continue
+                    layout = self.mapper.stripe_layout(desc.zone, buffer.stripe)
+                    if layout.parity_device != device_index:
+                        continue
+                    stripe_lba = desc.start_lba + buffer.stripe * desc.stripe_width
+                    parity = buffer.full_parity()
+                    hi = min(buffer.fill_end, len(parity))
+                    entries.append(encode_partial_parity(
+                        stripe_lba, stripe_lba + buffer.fill_end,
+                        self.generation[desc.zone], 0, parity[:hi]))
+            # Relocated parity of completed stripes whose parity SU could
+            # not be written in place: one cumulative entry covering the
+            # whole stripe keeps it recoverable after the delta logs are
+            # garbage collected.
+            for (zone, stripe), parity in sorted(self.relocated_parity.items()):
+                layout = self.mapper.stripe_layout(zone, stripe)
+                if layout.parity_device != device_index:
+                    continue
+                desc = self.zone_descs[zone]
+                stripe_lba = desc.start_lba + stripe * desc.stripe_width
+                entries.append(encode_partial_parity(
+                    stripe_lba, stripe_lba + desc.stripe_width,
+                    self.generation[zone], 0, parity))
+        return entries
+
+    # ------------------------------------------------------------------ write path
+
+    def _start_write(self, bio: Bio, done: Event) -> None:
+        """Synchronous half of the write path: validate, absorb, fan out."""
+        zone = self.mapper.zone_of(bio.offset)
+        desc = self.zone_descs[zone]
+        if bio.op == Op.ZONE_APPEND:
+            # §5.4: RAIZN serializes zone appends; emulate as a write at
+            # the logical write pointer (as dm-level append emulation does).
+            if bio.offset != desc.start_lba:
+                raise InvalidAddressError(
+                    "zone append offset must be the zone start LBA")
+            bio.offset = desc.write_pointer
+            bio.result = bio.offset
+        if not desc.state.is_writable:
+            raise ZoneStateError(
+                f"logical zone {zone} not writable (state={desc.state.value})")
+        if bio.offset != desc.write_pointer:
+            raise WritePointerViolation(
+                f"logical write at {bio.offset:#x} != zone {zone} write "
+                f"pointer {desc.write_pointer:#x}")
+        if bio.end_offset > desc.writable_end:
+            raise InvalidAddressError("write past logical zone capacity")
+        self._open_logical_zone(desc)
+        desc.write_pointer = bio.end_offset
+        desc.last_write_time = self.sim.now  # type: ignore[attr-defined]
+        if desc.write_pointer == desc.writable_end:
+            self._set_logical_state(desc, ZoneState.FULL)
+
+        sub_events: List[Event] = []
+        fua_devices: Set[int] = set()
+        sub_flags = BioFlags.FUA if bio.is_fua else BioFlags.NONE
+        offset = bio.offset
+        data = bio.data or b""
+        position = 0
+        while position < len(data):
+            lba = offset + position
+            in_zone = lba - desc.start_lba
+            stripe = in_zone // desc.stripe_width
+            in_stripe = in_zone % desc.stripe_width
+            take = min(len(data) - position,
+                       desc.stripe_width - in_stripe)
+            chunk = data[position:position + take]
+            self._write_stripe_segment(desc, stripe, in_stripe, chunk,
+                                       sub_flags, sub_events, fua_devices)
+            position += take
+
+        self.stats.account(bio)
+        self.sim.process(self._finish_write(bio, done, desc, sub_events,
+                                            fua_devices))
+
+    def _write_stripe_segment(self, desc: LogicalZoneDesc, stripe: int,
+                              in_stripe: int, chunk: bytes,
+                              sub_flags: BioFlags, sub_events: List[Event],
+                              fua_devices: Set[int]) -> None:
+        zone = desc.zone
+        buffer = desc.buffers.acquire(stripe)
+        if buffer is None:
+            raise RaiznError(
+                f"zone {zone}: all {self.config.stripe_buffers_per_zone} "
+                "stripe buffers occupied (should not happen: writes are "
+                "sequential, so only the tail stripe is ever incomplete)")
+        buffer.absorb(in_stripe, chunk)
+        layout = self.mapper.stripe_layout(zone, stripe)
+
+        # Fan out the data pieces, one per (device, stripe-unit) fragment.
+        position = 0
+        while position < len(chunk):
+            su = self.config.stripe_unit_bytes
+            stripe_offset = in_stripe + position
+            su_index = stripe_offset // su
+            in_su = stripe_offset % su
+            take = min(len(chunk) - position, su - in_su)
+            device = layout.data_devices[su_index]
+            pba = (zone * self.phys_zone_size + stripe * su + in_su)
+            piece = chunk[position:position + take]
+            lba = desc.start_lba + stripe * desc.stripe_width + stripe_offset
+            self._emit_data_piece(desc, device, pba, lba, piece, sub_flags,
+                                  sub_events, fua_devices)
+            position += take
+
+        if buffer.full:
+            self._emit_full_parity(desc, stripe, layout, buffer, in_stripe,
+                                   chunk, sub_flags, sub_events, fua_devices)
+            desc.buffers.release(stripe)
+        else:
+            self._emit_partial_parity(desc, stripe, layout, in_stripe, chunk,
+                                      bool(sub_flags & BioFlags.FUA),
+                                      sub_events)
+
+    def _emit_data_piece(self, desc: LogicalZoneDesc, device: int, pba: int,
+                         lba: int, piece: bytes, sub_flags: BioFlags,
+                         sub_events: List[Event],
+                         fua_devices: Set[int]) -> None:
+        zone = desc.zone
+        if not self._device_available(device, zone):
+            return  # degraded write: the missing SU is omitted (§4.2)
+        pdesc = self.phys[device][zone]
+        if pdesc.write_pointer != pba:
+            # Conflicting stripe unit (§5.2): either stale persisted data
+            # occupies this PBA (pointer ahead) or a stale gap sits below
+            # it (pointer behind, mid-stale-SU after a rollback); both
+            # redirect to the metadata zone.
+            self._relocate_write(desc, device, lba, piece, sub_events)
+            return
+        pdesc.write_pointer = pba + len(piece)
+        sub_events.append(self.devices[device].submit(
+            Bio.write(pba, piece, sub_flags)))
+        if sub_flags & BioFlags.FUA:
+            fua_devices.add(device)
+
+    def _relocate_write(self, desc: LogicalZoneDesc, device: int, lba: int,
+                        piece: bytes, sub_events: List[Event]) -> None:
+        su = self.config.stripe_unit_bytes
+        su_lba = lba - (lba % su)
+        unit = self.relocations.unit_for(su_lba, device,
+                                         self.mapper.zone_of(lba))
+        unit.write(lba, piece)
+        desc.has_relocations = True
+        entry = encode_relocated_su(lba, piece, self.generation[desc.zone])
+        sub_events.append(self.sim.process(
+            self.mdzones[device].append(MetadataRole.GENERAL, entry)))
+
+    def _emit_full_parity(self, desc: LogicalZoneDesc, stripe: int, layout,
+                          buffer: StripeBuffer, in_stripe: int, chunk: bytes,
+                          sub_flags: BioFlags, sub_events: List[Event],
+                          fua_devices: Set[int]) -> None:
+        device = layout.parity_device
+        if not self._device_available(device, desc.zone):
+            return
+        parity = buffer.full_parity()
+        pba = desc.zone * self.phys_zone_size + \
+            stripe * self.config.stripe_unit_bytes
+        pdesc = self.phys[device][desc.zone]
+        if pdesc.write_pointer != pba:
+            # The parity SU's PBA conflicts with stale data (§5.2 after a
+            # rollback recovery).  Keep the full parity in memory and log
+            # the completing segment's delta to the partial-parity zone —
+            # XOR of all the stripe's deltas equals the full parity.
+            self.relocated_parity[(desc.zone, stripe)] = parity
+            self._emit_partial_parity(desc, stripe, layout, in_stripe,
+                                      chunk, bool(sub_flags & BioFlags.FUA),
+                                      sub_events)
+            return
+        pdesc.write_pointer = pba + len(parity)
+        sub_events.append(self.devices[device].submit(
+            Bio.write(pba, parity, sub_flags)))
+        if sub_flags & BioFlags.FUA:
+            fua_devices.add(device)
+
+    def _emit_partial_parity(self, desc: LogicalZoneDesc, stripe: int,
+                             layout, in_stripe: int, chunk: bytes,
+                             fua: bool, sub_events: List[Event]) -> None:
+        device = layout.parity_device
+        if not self._device_available(device, desc.zone):
+            return
+        offset, delta = StripeBuffer.delta_parity(
+            in_stripe, chunk, self.config.stripe_unit_bytes)
+        stripe_lba = desc.start_lba + stripe * desc.stripe_width
+        entry = encode_partial_parity(
+            stripe_lba + in_stripe, stripe_lba + in_stripe + len(chunk),
+            self.generation[desc.zone], offset, delta)
+        sub_events.append(self.sim.process(self.mdzones[device].append(
+            MetadataRole.PARTIAL_PARITY, entry, fua=fua)))
+
+    def _finish_write(self, bio: Bio, done: Event, desc: LogicalZoneDesc,
+                      sub_events: List[Event], fua_devices: Set[int]):
+        try:
+            yield self.sim.all_of(sub_events)
+            if bio.is_fua or bio.is_preflush:
+                yield self.sim.all_of(
+                    self._flush_unpersisted(desc, bio, fua_devices))
+                end_su = desc.su_index_of(bio.end_offset - 1) + 1
+                desc.persistence.mark_up_to(end_su)
+        except DeviceError as exc:
+            done.fail(exc)
+            return
+        bio.complete_time = self.sim.now
+        done.succeed(bio)
+
+    def _flush_unpersisted(self, desc: LogicalZoneDesc, bio: Bio,
+                           fua_devices: Set[int]) -> List[Event]:
+        """Flush every device holding a non-persisted SU below this write.
+
+        Implements §5.3 with the paper's optimization: only the bitmap
+        from the stripe immediately preceding the write onwards needs
+        checking, because a set bit implies all earlier SUs on all
+        devices are persisted.
+        """
+        write_su = desc.su_index_of(bio.offset)
+        prev_stripe_su = max(0, (write_su // self.config.num_data - 1)
+                             * self.config.num_data)
+        check_from = max(desc.persistence.frontier, prev_stripe_su)
+        devices_to_flush: Set[int] = set()
+        for su_index in desc.persistence.unpersisted_in(check_from, write_su):
+            device = self._su_device(desc.zone, su_index)
+            if device not in fua_devices and \
+                    self._device_available(device, desc.zone):
+                devices_to_flush.add(device)
+        return [self.devices[d].submit(Bio.flush())
+                for d in devices_to_flush]
+
+    # ------------------------------------------------------------------ read path
+
+    def _start_read(self, bio: Bio, done: Event) -> None:
+        # Reads may cross logical zone boundaries (the device-mapper layer
+        # splits them); every crossed zone must be written through the
+        # requested range.
+        position = bio.offset
+        while position < bio.end_offset:
+            zone = self.mapper.zone_of(position)
+            desc = self.zone_descs[zone]
+            end_in_zone = min(bio.end_offset, desc.writable_end)
+            if end_in_zone > desc.write_pointer:
+                raise ReadUnwrittenError(
+                    f"read [{bio.offset:#x},{bio.end_offset:#x}) beyond "
+                    f"logical zone {zone} write pointer "
+                    f"{desc.write_pointer:#x}")
+            position = end_in_zone
+        self.sim.process(self._run_read(bio, done))
+
+    def _run_read(self, bio: Bio, done: Event):
+        pieces = self.mapper.split_extent(bio.offset, bio.length)
+        chunks: List[Optional[bytes]] = [None] * len(pieces)
+        events = []
+        lba = bio.offset
+        try:
+            for index, (device, pba, length) in enumerate(pieces):
+                desc = self.zone_descs[self.mapper.zone_of(lba)]
+                chunk = self._read_piece(device, pba, lba, length, desc,
+                                         events, chunks, index)
+                if chunk is not None:
+                    chunks[index] = chunk
+                lba += length
+            if events:
+                yield self.sim.all_of(events)
+        except (DeviceError, RaiznError) as exc:
+            done.fail(exc)
+            return
+        bio.result = b"".join(chunks)  # type: ignore[arg-type]
+        self.stats.account(bio)
+        bio.complete_time = self.sim.now
+        done.succeed(bio)
+
+    def _read_piece(self, device: int, pba: int, lba: int, length: int,
+                    desc: LogicalZoneDesc, events: List[Event],
+                    chunks: List[Optional[bytes]],
+                    index: int) -> Optional[bytes]:
+        """Route one ≤SU-sized piece; returns data if served from memory."""
+        su = self.config.stripe_unit_bytes
+        if desc.has_relocations:
+            unit = self.relocations.lookup(lba - (lba % su))
+            if unit is not None:
+                overlaps = unit.overlaps(lba, length)
+                if overlaps == [(0, length)]:
+                    return unit.read(lba, length)
+                if overlaps:
+                    return self._stitched_read_piece(
+                        unit, overlaps, device, pba, lba, length, desc,
+                        events, chunks, index)
+        if self._device_available(device, desc.zone):
+            event = self.devices[device].submit(Bio.read(pba, length))
+            event.add_callback(self._make_piece_cb(chunks, index))
+            events.append(event)
+            return None
+        return self._degraded_read_piece(device, pba, lba, length, desc,
+                                         events, chunks, index)
+
+    @staticmethod
+    def _make_piece_cb(chunks: List[Optional[bytes]], index: int):
+        def on_done(event: Event) -> None:
+            if event.ok:
+                chunks[index] = event.value.result
+        return on_done
+
+    def _stitched_read_piece(self, unit, overlaps, device: int, pba: int,
+                             lba: int, length: int, desc: LogicalZoneDesc,
+                             events: List[Event],
+                             chunks: List[Optional[bytes]],
+                             index: int) -> Optional[bytes]:
+        """Merge relocated bytes with on-device bytes for one piece.
+
+        A read can straddle the relocation boundary when recovery rolled
+        the logical write pointer back into the middle of a stripe unit:
+        the prefix below the rollback point is valid on the device while
+        the redirected suffix lives in the relocated unit (§5.2).
+        """
+        container = bytearray(length)
+        for rel_lo, rel_hi in overlaps:
+            container[rel_lo:rel_hi] = unit.read(lba + rel_lo,
+                                                 rel_hi - rel_lo)
+        gap_events = []
+        cursor = 0
+        gaps = []
+        for rel_lo, rel_hi in sorted(overlaps):
+            if cursor < rel_lo:
+                gaps.append((cursor, rel_lo))
+            cursor = max(cursor, rel_hi)
+        if cursor < length:
+            gaps.append((cursor, length))
+        for gap_lo, gap_hi in gaps:
+            if not self._device_available(device, desc.zone):
+                raise DataLossError(
+                    "cannot read non-relocated bytes of a relocated stripe "
+                    "unit on an unavailable device")
+            event = self.devices[device].submit(
+                Bio.read(pba + gap_lo, gap_hi - gap_lo))
+
+            def on_gap(ev: Event, lo: int = gap_lo, hi: int = gap_hi) -> None:
+                if ev.ok:
+                    container[lo:hi] = ev.value.result
+            event.add_callback(on_gap)
+            gap_events.append(event)
+        if not gap_events:
+            return bytes(container)
+        gather = self.sim.all_of(gap_events)
+
+        def on_all(ev: Event) -> None:
+            if ev.ok:
+                chunks[index] = bytes(container)
+        gather.add_callback(on_all)
+        events.append(gather)
+        return None
+
+    def _degraded_read_piece(self, device: int, pba: int, lba: int,
+                             length: int, desc: LogicalZoneDesc,
+                             events: List[Event],
+                             chunks: List[Optional[bytes]],
+                             index: int) -> Optional[bytes]:
+        """Reconstruct a piece whose device is unavailable (§4.2)."""
+        su = self.config.stripe_unit_bytes
+        zone = desc.zone
+        in_zone = lba - desc.start_lba
+        stripe = in_zone // desc.stripe_width
+        in_su = (in_zone % desc.stripe_width) % su
+        buffer = desc.buffers.get(stripe)
+        if buffer is not None:
+            # Incomplete tail stripe: the stripe buffer has the data.
+            stripe_offset = in_zone % desc.stripe_width
+            return bytes(buffer.data[stripe_offset:stripe_offset + length])
+        layout = self.mapper.stripe_layout(zone, stripe)
+        sources: List[Event] = []
+        accumulator = bytearray(length)
+        relocated = self.relocated_parity.get((zone, stripe))
+        for other in range(self.config.num_devices):
+            if other == device:
+                continue
+            if not self._device_available(other, zone):
+                raise DataLossError(
+                    f"two unavailable devices ({device}, {other}); "
+                    "single parity cannot reconstruct")
+            if other == layout.parity_device and relocated is not None:
+                # The stripe's true parity lives in memory / the metadata
+                # zone; the on-device parity PBA holds stale data.
+                xor_into(accumulator, relocated[in_su:in_su + length])
+                continue
+            if other != layout.parity_device:
+                su_index = layout.data_devices.index(other)
+                unit = self.relocations.lookup(
+                    self.mapper.su_lba(zone, stripe, su_index))
+                if unit is not None and unit.covers(unit.su_lba + in_su,
+                                                    length):
+                    # This source SU was itself relocated; its on-device
+                    # bytes are stale.
+                    xor_into(accumulator,
+                             unit.read(unit.su_lba + in_su, length))
+                    continue
+            other_pba = zone * self.phys_zone_size + stripe * su + in_su
+            # A source SU may be shorter than the requested range (the
+            # tail stripe of a finished zone); its unwritten suffix
+            # counts as zeroes, matching the parity computation (§5.1).
+            available = self.phys[other][zone].write_pointer - other_pba
+            take = max(0, min(length, available))
+            if take == 0:
+                continue
+            event = self.devices[other].submit(Bio.read(other_pba, take))
+
+            def fold(ev: Event, acc: bytearray = accumulator) -> None:
+                if ev.ok:
+                    xor_into(acc, ev.value.result)
+            event.add_callback(fold)
+            sources.append(event)
+        gather = self.sim.all_of(sources)
+
+        def on_sources(event: Event) -> None:
+            if event.ok:
+                chunks[index] = bytes(accumulator)
+        gather.add_callback(on_sources)
+        events.append(gather)
+        return None
+
+    # ------------------------------------------------------------------ flush
+
+    def _run_flush(self, bio: Bio, done: Event):
+        """REQ_OP_FLUSH: duplicated to each array device (§5.3)."""
+        try:
+            yield self.sim.all_of([
+                self.devices[d].submit(Bio.flush())
+                for d in self._alive_devices()])
+        except DeviceError as exc:
+            done.fail(exc)
+            return
+        for desc in self.zone_descs:
+            if desc.state.is_active or desc.state is ZoneState.FULL:
+                if desc.written_bytes:
+                    desc.persistence.mark_up_to(
+                        desc.su_index_of(desc.write_pointer - 1) + 1)
+        self.stats.account(bio)
+        bio.complete_time = self.sim.now
+        done.succeed(bio)
+
+    # ------------------------------------------------------------------ zone reset
+
+    def _start_reset(self, bio: Bio, done: Event) -> None:
+        if bio.offset % self.zone_capacity:
+            raise InvalidAddressError(
+                f"zone reset offset {bio.offset:#x} is not a logical "
+                "zone start")
+        zone = self.mapper.zone_of(bio.offset)
+        desc = self.zone_descs[zone]
+        if desc.reset_in_progress:
+            self._reset_pending.setdefault(zone, []).append((bio, done))
+            return
+        desc.reset_in_progress = True
+        # §4.3: the reset pointer orders the reset against in-flight writes.
+        desc.reset_pointer = desc.write_pointer
+        self.sim.process(self._run_reset(bio, done, desc))
+
+    def _run_reset(self, bio: Bio, done: Event, desc: LogicalZoneDesc):
+        zone = desc.zone
+        try:
+            # Write-ahead log the reset intent to the device holding the
+            # zone's first stripe unit and the device with the parity of
+            # the first stripe (§5.2), persisted before any reset.
+            layout = self.mapper.stripe_layout(zone, 0)
+            wal_devices = {layout.data_devices[0], layout.parity_device}
+            wal_events = []
+            for device in wal_devices:
+                if self._device_available(device, zone):
+                    entry = encode_zone_reset(zone, desc.reset_pointer or 0,
+                                              self.generation[zone])
+                    wal_events.append(self.sim.process(
+                        self.mdzones[device].append(
+                            MetadataRole.GENERAL, entry, fua=True)))
+            yield self.sim.all_of(wal_events)
+            # Reset every physical zone in the logical zone.
+            reset_events = []
+            for device in self._alive_devices():
+                reset_events.append(self.devices[device].submit(
+                    Bio.zone_reset(zone * self.phys_zone_size)))
+                pdesc = self.phys[device][zone]
+                pdesc.write_pointer = zone * self.phys_zone_size
+                pdesc.state = ZoneState.EMPTY
+            yield self.sim.all_of(reset_events)
+            # Bump and persist the generation counter, invalidating every
+            # metadata log entry that referenced the old zone contents.
+            self.generation[zone] += 1
+            self._check_generation_overflow(zone)
+            gen_events = self._persist_generation()
+            self._set_logical_state(desc, ZoneState.EMPTY)
+            self.relocations.drop_zone(desc.start_lba, desc.capacity)
+            self.relocations.rebuild_counters(
+                lambda unit: self.mapper.zone_of(unit.su_lba))
+            for key in [k for k in self.relocated_parity if k[0] == zone]:
+                del self.relocated_parity[key]
+            desc.reset()
+            yield self.sim.all_of(gen_events)
+        except DeviceError as exc:
+            desc.reset_in_progress = False
+            done.fail(exc)
+            return
+        self.stats.account(bio)
+        bio.complete_time = self.sim.now
+        done.succeed(bio)
+        self._drain_reset_pending(zone)
+
+    def _drain_reset_pending(self, zone: int) -> None:
+        pending = self._reset_pending.pop(zone, [])
+        for queued_bio, queued_done in pending:
+            try:
+                self._dispatch(queued_bio, queued_done)
+            except (RaiznError, DeviceError) as exc:
+                self.sim.schedule(0.0, queued_done.fail, exc)
+
+    def _check_generation_overflow(self, zone: int) -> None:
+        if self.generation[zone] >= 2 ** 64 - 1:
+            # §4.3: the volume goes read-only and requires maintenance.
+            self.read_only = True
+
+    # ------------------------------------------------------------------ finish/open/close
+
+    def _run_finish(self, bio: Bio, done: Event):
+        zone = self.mapper.zone_of(bio.offset)
+        desc = self.zone_descs[zone]
+        try:
+            events: List[Event] = []
+            fua_devices: Set[int] = set()
+            # Seal the incomplete tail stripe's parity so degraded reads
+            # work without consulting partial parity logs.
+            for buffer in list(desc.buffers.active()):
+                if buffer.fill_end and not buffer.full:
+                    layout = self.mapper.stripe_layout(zone, buffer.stripe)
+                    device = layout.parity_device
+                    if self._device_available(device, zone):
+                        parity = buffer.full_parity()
+                        pba = zone * self.phys_zone_size + \
+                            buffer.stripe * self.config.stripe_unit_bytes
+                        pdesc = self.phys[device][zone]
+                        if pdesc.write_pointer == pba:
+                            pdesc.write_pointer = pba + len(parity)
+                            events.append(self.devices[device].submit(
+                                Bio.write(pba, parity)))
+                        else:
+                            # Conflicting parity PBA: the delta logs
+                            # already cover the tail stripe; keep the
+                            # sealed parity in memory (§5.2).
+                            self.relocated_parity[
+                                (zone, buffer.stripe)] = parity
+                desc.buffers.release(buffer.stripe)
+            for device in self._alive_devices():
+                events.append(self.devices[device].submit(
+                    Bio.zone_finish(zone * self.phys_zone_size)))
+                self.phys[device][zone].state = ZoneState.FULL
+            yield self.sim.all_of(events)
+        except DeviceError as exc:
+            done.fail(exc)
+            return
+        self._set_logical_state(desc, ZoneState.FULL)
+        self.stats.account(bio)
+        bio.complete_time = self.sim.now
+        done.succeed(bio)
+
+    def _run_open_close(self, bio: Bio, done: Event, explicit_open: bool):
+        zone = self.mapper.zone_of(bio.offset)
+        desc = self.zone_descs[zone]
+        try:
+            op = Bio.zone_open if explicit_open else Bio.zone_close
+            yield self.sim.all_of([
+                self.devices[d].submit(op(zone * self.phys_zone_size))
+                for d in self._alive_devices()])
+        except DeviceError as exc:
+            done.fail(exc)
+            return
+        if explicit_open:
+            self._open_logical_zone(desc, explicit=True)
+        elif desc.state.is_open:
+            new_state = (ZoneState.EMPTY
+                         if desc.write_pointer == desc.start_lba
+                         else ZoneState.CLOSED)
+            self._set_logical_state(desc, new_state)
+        self.stats.account(bio)
+        bio.complete_time = self.sim.now
+        done.succeed(bio)
+
+    # ------------------------------------------------------------------ logical zone state
+
+    def _set_logical_state(self, desc: LogicalZoneDesc,
+                           state: ZoneState) -> None:
+        if desc.state.is_open and not state.is_open:
+            self._open_logical -= 1
+        elif not desc.state.is_open and state.is_open:
+            self._open_logical += 1
+        desc.state = state
+
+    def _open_logical_zone(self, desc: LogicalZoneDesc,
+                           explicit: bool = False) -> None:
+        if desc.state.is_open:
+            if explicit and desc.state is ZoneState.IMPLICIT_OPEN:
+                desc.state = ZoneState.EXPLICIT_OPEN
+            return
+        if self._open_logical >= self.max_open_logical:
+            self._auto_close_logical()
+        target = (ZoneState.EXPLICIT_OPEN if explicit
+                  else ZoneState.IMPLICIT_OPEN)
+        self._set_logical_state(desc, target)
+
+    def _auto_close_logical(self) -> None:
+        candidates = [d for d in self.zone_descs
+                      if d.state is ZoneState.IMPLICIT_OPEN]
+        if not candidates:
+            raise ZoneStateError(
+                f"logical open zone limit {self.max_open_logical} reached")
+        victim = min(candidates,
+                     key=lambda d: getattr(d, "last_write_time", 0.0))
+        for device in self._alive_devices():
+            self.devices[device].submit(
+                Bio.zone_close(victim.zone * self.phys_zone_size))
+        self._set_logical_state(victim, ZoneState.CLOSED)
+
+    # ------------------------------------------------------------------ fault handling
+
+    def fail_device(self, index: int, remove: bool = True) -> None:
+        """Fail (and optionally remove) one array device."""
+        if self.failed[index]:
+            return
+        others_failed = sum(self.failed)
+        if others_failed >= self.config.num_parity:
+            raise DataLossError(
+                "failing another device exceeds the parity tolerance")
+        dev = self.devices[index]
+        if dev is not None:
+            dev.fail_device()
+        self.failed[index] = True
+        if remove:
+            self.devices[index] = None
+            self.mdzones[index] = None

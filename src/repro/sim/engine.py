@@ -1,0 +1,286 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free event engine in the style of SimPy: simulated
+processes are Python generators that ``yield`` events; the engine resumes
+them when those events trigger.  All performance experiments in this
+repository run in simulated time, so throughput and latency numbers come
+from the event clock rather than wall time.
+
+Example::
+
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.5)
+        return "done"
+
+    proc = sim.process(worker())
+    sim.run()
+    assert sim.now == 1.5 and proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start untriggered; ``succeed`` or ``fail`` triggers them exactly
+    once, after which their callbacks run at the current simulation time.
+    Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "triggered", "ok", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.triggered = False
+        self.ok = True
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception, raised inside waiters."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            raise SimulationError(f"{self!r} triggered twice")
+        self.triggered = True
+        self.ok = ok
+        self.value = value
+        self.sim._queue_callbacks(self)
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event triggers (immediately if it has)."""
+        if self.triggered and self.callbacks is None:
+            # Already dispatched: run at the current time via the queue.
+            self.sim.schedule(0.0, lambda: fn(self))
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        sim.schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class Process(Event):
+    """A running simulated process; triggers when its generator returns.
+
+    The generator's ``return`` value becomes ``Process.value``.  An uncaught
+    exception inside the generator fails the process event and propagates to
+    anything waiting on it (or to ``Simulator.run`` if nothing is waiting).
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator):
+        super().__init__(sim)
+        self._gen = gen
+        # Start the process at the current simulation time.
+        sim.schedule(0.0, self._resume, None, None)
+
+    def _resume(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        try:
+            if throw_exc is not None:
+                target = self._gen.throw(throw_exc)
+            else:
+                target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process failure path
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._resume(None, SimulationError(
+                f"process yielded {target!r}; processes must yield Events"))
+            return
+        target.add_callback(self._on_wait_done)
+
+    def _on_wait_done(self, event: Event) -> None:
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            self._resume(None, event.value)
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered successfully.
+
+    ``value`` is the list of child values in the order given.  Fails as soon
+    as any child fails.
+    """
+
+    __slots__ = ("_pending", "_values", "_failed")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        self._values: List[Any] = [None] * len(events)
+        self._failed = False
+        if not events:
+            sim.schedule(0.0, self.succeed, [])
+            return
+        for index, event in enumerate(events):
+            event.add_callback(self._make_child_callback(index))
+
+    def _make_child_callback(self, index: int) -> Callable[[Event], None]:
+        def on_child(event: Event) -> None:
+            if self._failed:
+                return
+            if not event.ok:
+                self._failed = True
+                self.fail(event.value)
+                return
+            self._values[index] = event.value
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(self._values)
+        return on_child
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers; value is that child's."""
+
+    __slots__ = ("_done",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._done = False
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._done:
+            return
+        self._done = True
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of pending callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List = []
+        self._seq = 0
+
+    # -- low-level scheduling ------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+
+    def _queue_callbacks(self, event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            self.schedule(0.0, self._dispatch, event, callbacks)
+        elif not event.ok and isinstance(event, Process):
+            # A failed process nobody waits on: surface the error instead of
+            # silently swallowing it.
+            self.schedule(0.0, self._raise_unhandled, event.value)
+
+    @staticmethod
+    def _raise_unhandled(exc: BaseException) -> None:
+        raise exc
+
+    @staticmethod
+    def _dispatch(event: Event, callbacks: List[Callable[[Event], None]]) -> None:
+        for fn in callbacks:
+            fn(event)
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGenerator) -> Process:
+        """Start ``gen`` as a simulated process."""
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event triggering when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event triggering when the first of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Execute events until the heap drains or the clock passes ``until``.
+
+        Failed processes that nothing waits on raise out of ``run`` so that
+        programming errors inside simulated processes are never silently
+        swallowed.
+        """
+        while self._heap:
+            at, _seq, fn, args = self._heap[0]
+            if until is not None and at > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            if at < self.now - 1e-12:
+                raise SimulationError("event heap went backwards in time")
+            self.now = at
+            fn(*args)
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_process(self, gen: ProcessGenerator) -> Any:
+        """Convenience: run ``gen`` to completion and return its value."""
+        proc = self.process(gen)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError("process did not complete (deadlock?)")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

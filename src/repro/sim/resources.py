@@ -1,0 +1,96 @@
+"""Shared resources for simulated processes.
+
+``Resource`` models a pool of identical servers (e.g. the parallel command
+channels of an SSD).  ``Queue`` is an unbounded FIFO hand-off between
+producer and consumer processes.  ``Lock`` is a single-holder mutex built on
+``Resource``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from ..errors import SimulationError
+from .engine import Event, Simulator
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage from a process::
+
+        grant = yield resource.request()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def request(self) -> Event:
+        """An event that succeeds once a unit of the resource is granted."""
+        event = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one granted unit, waking the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Hand the unit directly to the next waiter; in_use is unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiters)
+
+
+class Lock(Resource):
+    """A mutex: a resource of capacity one."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, capacity=1)
+
+
+class Queue:
+    """Unbounded FIFO queue connecting simulated processes."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that succeeds with the next item (FIFO order)."""
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,158 @@
+"""Measurement helpers: latency distributions and throughput timeseries.
+
+Every benchmark in this repository reports numbers computed by these two
+classes from simulated-time samples, mirroring how the paper reports fio
+throughput, median latency, 99.9th-percentile latency, and the 1 Hz
+throughput/latency timeseries of Figure 10.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..units import MiB
+
+
+class LatencyStats:
+    """Collects latency samples (seconds) and reports summary statistics."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def add(self, sample: float) -> None:
+        """Record one latency sample in seconds."""
+        if self._samples and sample < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(sample)
+
+    def extend(self, samples: Sequence[float]) -> None:
+        """Record many samples at once."""
+        for sample in samples:
+            self.add(sample)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def percentile(self, pct: float) -> float:
+        """Linear-interpolated percentile, ``pct`` in [0, 100]."""
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        self._ensure_sorted()
+        if len(self._samples) == 1:
+            return self._samples[0]
+        rank = (pct / 100.0) * (len(self._samples) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return self._samples[low]
+        frac = rank - low
+        # a + (b-a)*frac is monotone in frac under IEEE rounding, unlike
+        # the a*(1-frac) + b*frac form.
+        return self._samples[low] + \
+            (self._samples[high] - self._samples[low]) * frac
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p999(self) -> float:
+        """99.9th-percentile latency, the paper's tail metric (Figure 9)."""
+        return self.percentile(99.9)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def maximum(self) -> float:
+        self._ensure_sorted()
+        return self._samples[-1]
+
+    def summary(self) -> Dict[str, float]:
+        """All headline statistics as a dict (seconds)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+            "p99.9": self.p999,
+            "max": self.maximum,
+        }
+
+
+class ThroughputSeries:
+    """Accumulates (time, bytes) completions into fixed-width buckets.
+
+    ``series()`` yields a per-bucket MiB/s timeseries, the exact shape the
+    paper plots in Figure 10 (1-second sampling of throughput over a long
+    overwrite run).
+    """
+
+    def __init__(self, bucket_seconds: float = 1.0):
+        if bucket_seconds <= 0:
+            raise ValueError("bucket width must be positive")
+        self.bucket_seconds = bucket_seconds
+        self._buckets: Dict[int, int] = {}
+        self.total_bytes = 0
+        self.first_time: float = math.inf
+        self.last_time: float = 0.0
+
+    def record(self, at: float, nbytes: int) -> None:
+        """Record ``nbytes`` completed at simulated time ``at``."""
+        index = int(at / self.bucket_seconds)
+        self._buckets[index] = self._buckets.get(index, 0) + nbytes
+        self.total_bytes += nbytes
+        self.first_time = min(self.first_time, at)
+        self.last_time = max(self.last_time, at)
+
+    def series(self) -> List[Tuple[float, float]]:
+        """Return [(bucket_start_seconds, MiB_per_second), ...] sorted by time.
+
+        Buckets with no completions are reported as zero so that stalls
+        (e.g. a device saturated by garbage collection) appear in the plot.
+        """
+        if not self._buckets:
+            return []
+        lo = min(self._buckets)
+        hi = max(self._buckets)
+        out = []
+        for index in range(lo, hi + 1):
+            mib_s = self._buckets.get(index, 0) / self.bucket_seconds / MiB
+            out.append((index * self.bucket_seconds, mib_s))
+        return out
+
+    def mean_throughput_mib_s(self) -> float:
+        """Overall MiB/s between the first and last recorded completion."""
+        span = self.last_time - self.first_time
+        if span <= 0:
+            span = self.bucket_seconds
+        return self.total_bytes / span / MiB
+
+
+def throughput_mib_s(total_bytes: int, elapsed_seconds: float) -> float:
+    """Throughput in MiB/s for ``total_bytes`` moved in ``elapsed_seconds``."""
+    if elapsed_seconds <= 0:
+        raise ValueError(f"elapsed time must be positive, got {elapsed_seconds}")
+    return total_bytes / elapsed_seconds / MiB

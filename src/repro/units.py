@@ -1,0 +1,54 @@
+"""Size and time units used throughout the reproduction.
+
+All device address arithmetic in this codebase is done in *bytes* at API
+boundaries and in *sectors* internally where the ZNS specification requires
+it.  The sector size is fixed at 4 KiB, matching the paper's configuration
+("RAIZN metadata header layout when using 4KiB sectors", Figure 3).
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+#: Logical block (sector) size.  The paper's devices are formatted with
+#: 4 KiB sectors; every metadata header occupies exactly one sector.
+SECTOR_SIZE = 4 * KiB
+
+#: One microsecond, in simulated seconds.
+USEC = 1e-6
+#: One millisecond, in simulated seconds.
+MSEC = 1e-3
+
+
+def sectors(nbytes: int) -> int:
+    """Return the number of whole sectors covering ``nbytes`` bytes.
+
+    Raises ``ValueError`` for negative sizes.
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    return (nbytes + SECTOR_SIZE - 1) // SECTOR_SIZE
+
+
+def is_sector_aligned(offset: int) -> bool:
+    """True when ``offset`` (bytes) falls on a sector boundary."""
+    return offset % SECTOR_SIZE == 0
+
+
+def check_sector_aligned(offset: int, what: str = "offset") -> None:
+    """Raise ``ValueError`` unless ``offset`` is sector aligned."""
+    if offset % SECTOR_SIZE != 0:
+        raise ValueError(f"{what} {offset:#x} is not {SECTOR_SIZE}-byte aligned")
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count, e.g. ``fmt_bytes(65536) == '64.0KiB'``."""
+    value = float(nbytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f}{suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,13 @@
+"""Workload drivers: fio-style jobs and the overwrite benchmark."""
+
+from .fio import FioJobSpec, FioResult, prime_volume, run_fio
+from .overwrite import OverwriteResult, run_overwrite
+
+__all__ = [
+    "FioJobSpec",
+    "FioResult",
+    "prime_volume",
+    "run_fio",
+    "OverwriteResult",
+    "run_overwrite",
+]

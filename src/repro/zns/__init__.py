@@ -1,0 +1,19 @@
+"""Simulated NVMe Zoned Namespace (ZNS) SSD substrate."""
+
+from .device import ZNSDevice
+from .spec import (
+    DEFAULT_MAX_ACTIVE_ZONES,
+    DEFAULT_MAX_OPEN_ZONES,
+    ZoneInfo,
+    ZoneState,
+)
+from .zone import Zone
+
+__all__ = [
+    "ZNSDevice",
+    "Zone",
+    "ZoneInfo",
+    "ZoneState",
+    "DEFAULT_MAX_OPEN_ZONES",
+    "DEFAULT_MAX_ACTIVE_ZONES",
+]

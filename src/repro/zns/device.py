@@ -1,0 +1,360 @@
+"""Simulated NVMe ZNS SSD.
+
+Enforces the full interface contract RAIZN depends on (paper §2.1):
+
+* sequential-write-only zones with a queryable write pointer,
+* zone append returning the placement address,
+* the zone state machine with an open-zone limit (14 on the ZN540),
+* a volatile write cache with flush / FUA / preflush semantics and
+  per-zone *prefix* persistence order,
+* power-loss behaviour where an arbitrary whole number of atomic write
+  units from each zone's unflushed tail survives.
+
+Data is byte-backed: reads return exactly the bytes written, so parity
+and recovery logic upstack is verified against real content.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..errors import (
+    InvalidAddressError,
+    OpenZoneLimitError,
+    ReadUnwrittenError,
+    WritePointerViolation,
+    ZoneStateError,
+)
+from ..block.bio import Bio, Op
+from ..block.device import BlockDevice
+from ..block.timing import ServiceTimeModel, zns_zn540_model
+from ..sim import Simulator
+from ..units import SECTOR_SIZE
+from .spec import (
+    DEFAULT_MAX_ACTIVE_ZONES,
+    DEFAULT_MAX_OPEN_ZONES,
+    ZoneInfo,
+    ZoneState,
+)
+from .zone import Zone
+
+
+class ZNSDevice(BlockDevice):
+    """A zoned-namespace SSD with byte-backed media."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "zns0",
+        num_zones: int = 32,
+        zone_capacity: int = 4 * 1024 * 1024,
+        zone_size: Optional[int] = None,
+        model: Optional[ServiceTimeModel] = None,
+        max_open_zones: int = DEFAULT_MAX_OPEN_ZONES,
+        max_active_zones: int = DEFAULT_MAX_ACTIVE_ZONES,
+        atomic_write_bytes: int = SECTOR_SIZE,
+        seed: int = 0,
+    ):
+        if zone_size is None:
+            zone_size = zone_capacity
+        if zone_capacity % SECTOR_SIZE or zone_size % SECTOR_SIZE:
+            raise InvalidAddressError("zone geometry must be sector aligned")
+        if atomic_write_bytes % SECTOR_SIZE:
+            raise InvalidAddressError("atomic write unit must be sector aligned")
+        super().__init__(sim, name, zone_size * num_zones,
+                         model or zns_zn540_model(), seed=seed)
+        self.num_zones = num_zones
+        self.zone_size = zone_size
+        self.zone_capacity = zone_capacity
+        self.max_open_zones = max_open_zones
+        self.max_active_zones = max_active_zones
+        self.atomic_write_bytes = atomic_write_bytes
+        self.zones: List[Zone] = [
+            Zone(i, i * zone_size, zone_size, zone_capacity)
+            for i in range(num_zones)
+        ]
+        self._media = bytearray(self.size_bytes)
+        self._open_count = 0
+        self._active_count = 0
+
+    # -- address helpers --------------------------------------------------------
+
+    def zone_index(self, offset: int) -> int:
+        """Zone number containing byte ``offset``."""
+        if not 0 <= offset < self.size_bytes:
+            raise InvalidAddressError(
+                f"{self.name}: offset {offset:#x} outside device")
+        return offset // self.zone_size
+
+    def zone_at(self, offset: int) -> Zone:
+        """The ``Zone`` containing byte ``offset``."""
+        return self.zones[self.zone_index(offset)]
+
+    def report_zones(self) -> List[ZoneInfo]:
+        """Snapshot of every zone (the NVMe Zone Management Receive report)."""
+        return [zone.info() for zone in self.zones]
+
+    def zone_info(self, index: int) -> ZoneInfo:
+        """Snapshot of zone ``index``."""
+        return self.zones[index].info()
+
+    @property
+    def open_zone_count(self) -> int:
+        return self._open_count
+
+    @property
+    def active_zone_count(self) -> int:
+        return self._active_count
+
+    # -- state machine ------------------------------------------------------------
+
+    def _transition(self, zone: Zone, new_state: ZoneState) -> None:
+        old = zone.state
+        if old is new_state:
+            return
+        self._open_count += int(new_state.is_open) - int(old.is_open)
+        self._active_count += int(new_state.is_active) - int(old.is_active)
+        zone.state = new_state
+
+    def _make_open(self, zone: Zone, explicit: bool) -> None:
+        """Open ``zone``, honouring the open/active limits (§2.1)."""
+        target = ZoneState.EXPLICIT_OPEN if explicit else ZoneState.IMPLICIT_OPEN
+        if zone.state.is_open:
+            if explicit and zone.state is ZoneState.IMPLICIT_OPEN:
+                self._transition(zone, target)
+            return
+        if not zone.state.is_writable:
+            raise ZoneStateError(
+                f"{self.name}: zone {zone.index} not writable "
+                f"(state={zone.state.value})")
+        if not zone.state.is_active and self._active_count >= self.max_active_zones:
+            raise OpenZoneLimitError(
+                f"{self.name}: active zone limit {self.max_active_zones} reached")
+        if self._open_count >= self.max_open_zones:
+            self._auto_close_one()
+        self._transition(zone, target)
+
+    def _auto_close_one(self) -> None:
+        """Close the least-recently-written implicitly-open zone.
+
+        Real devices do this transparently for implicitly-open zones; if
+        every open zone is explicitly open the command fails, which is what
+        the limit in the paper refers to.
+        """
+        candidates = [z for z in self.zones
+                      if z.state is ZoneState.IMPLICIT_OPEN]
+        if not candidates:
+            raise OpenZoneLimitError(
+                f"{self.name}: open zone limit {self.max_open_zones} reached "
+                "and no implicitly-open zone to evict")
+        victim = min(candidates, key=lambda z: z.last_write_time)
+        self._transition(victim, ZoneState.CLOSED)
+
+    # -- command application ---------------------------------------------------------
+
+    def _apply(self, bio: Bio) -> float:
+        handler = {
+            Op.READ: self._apply_read,
+            Op.WRITE: self._apply_write,
+            Op.ZONE_APPEND: self._apply_append,
+            Op.FLUSH: self._apply_flush,
+            Op.ZONE_RESET: self._apply_reset,
+            Op.ZONE_FINISH: self._apply_finish,
+            Op.ZONE_OPEN: self._apply_open,
+            Op.ZONE_CLOSE: self._apply_close,
+        }.get(bio.op)
+        if handler is None:
+            raise ZoneStateError(f"{self.name}: unsupported op {bio.op}")
+        return handler(bio)
+
+    def _apply_read(self, bio: Bio) -> float:
+        zone = self.zone_at(bio.offset)
+        if bio.end_offset > zone.start + self.zone_size:
+            raise InvalidAddressError(
+                f"{self.name}: read crosses zone boundary at {bio.offset:#x}")
+        if zone.state is ZoneState.OFFLINE:
+            raise ZoneStateError(f"{self.name}: zone {zone.index} is offline")
+        if bio.end_offset > zone.write_pointer:
+            raise ReadUnwrittenError(
+                f"{self.name}: read [{bio.offset:#x},{bio.end_offset:#x}) "
+                f"beyond write pointer {zone.write_pointer:#x} "
+                f"of zone {zone.index}")
+        bio.result = bytes(self._media[bio.offset:bio.end_offset])
+        return 0.0
+
+    def _check_write(self, bio: Bio) -> Zone:
+        zone = self.zone_at(bio.offset)
+        if not zone.state.is_writable:
+            raise ZoneStateError(
+                f"{self.name}: zone {zone.index} not writable "
+                f"(state={zone.state.value})")
+        if bio.offset != zone.write_pointer:
+            raise WritePointerViolation(
+                f"{self.name}: write at {bio.offset:#x} != write pointer "
+                f"{zone.write_pointer:#x} of zone {zone.index}")
+        if bio.end_offset > zone.writable_end:
+            raise InvalidAddressError(
+                f"{self.name}: write past zone {zone.index} capacity")
+        return zone
+
+    def _apply_write(self, bio: Bio) -> float:
+        if bio.is_preflush:
+            self._snapshot_flush(bio)
+        zone = self._check_write(bio)
+        self._make_open(zone, explicit=False)
+        assert bio.data is not None
+        self._media[bio.offset:bio.end_offset] = bio.data
+        zone.advance(bio.length, self.sim.now)
+        if zone.state is ZoneState.FULL:
+            self._note_full(zone)
+        return 0.0
+
+    def _apply_append(self, bio: Bio) -> float:
+        if bio.offset % self.zone_size:
+            raise InvalidAddressError(
+                f"{self.name}: zone append offset {bio.offset:#x} is not "
+                "a zone start")
+        if bio.is_preflush:
+            self._snapshot_flush(bio)
+        zone = self.zone_at(bio.offset)
+        if not zone.state.is_writable:
+            raise ZoneStateError(
+                f"{self.name}: zone {zone.index} not writable "
+                f"(state={zone.state.value})")
+        if bio.length > zone.remaining:
+            raise ZoneStateError(
+                f"{self.name}: append of {bio.length} bytes exceeds zone "
+                f"{zone.index} remaining capacity {zone.remaining}")
+        self._make_open(zone, explicit=False)
+        placed_at = zone.write_pointer
+        assert bio.data is not None
+        self._media[placed_at:placed_at + bio.length] = bio.data
+        zone.advance(bio.length, self.sim.now)
+        if zone.state is ZoneState.FULL:
+            self._note_full(zone)
+        bio.result = placed_at
+        return 0.0
+
+    def _note_full(self, zone: Zone) -> None:
+        # advance() set state directly; fix the open/active accounting.
+        zone.state = ZoneState.IMPLICIT_OPEN  # undo for bookkeeping
+        self._transition(zone, ZoneState.FULL)
+
+    def _apply_flush(self, bio: Bio) -> float:
+        self._snapshot_flush(bio)
+        return 0.0
+
+    def _snapshot_flush(self, bio: Bio) -> None:
+        """Record, per zone, the write pointer the flush must persist to."""
+        bio.aux = {zone.index: zone.write_pointer for zone in self.zones
+                   if zone.write_pointer > zone.durable_pointer}
+
+    def _apply_reset(self, bio: Bio) -> float:
+        if bio.offset % self.zone_size:
+            raise InvalidAddressError(
+                f"{self.name}: zone reset offset {bio.offset:#x} is not "
+                "a zone start")
+        zone = self.zone_at(bio.offset)
+        old_state = zone.state
+        zone.reset()
+        zone.state = old_state          # let _transition do the accounting
+        self._transition(zone, ZoneState.EMPTY)
+        start, end = zone.start, zone.start + self.zone_size
+        self._media[start:end] = bytes(end - start)
+        return 0.0
+
+    def _apply_finish(self, bio: Bio) -> float:
+        zone = self.zone_at(bio.offset)
+        old_state = zone.state
+        zone.finish()
+        zone.state = old_state
+        self._transition(zone, ZoneState.FULL)
+        return 0.0
+
+    def _apply_open(self, bio: Bio) -> float:
+        zone = self.zone_at(bio.offset)
+        self._make_open(zone, explicit=True)
+        return 0.0
+
+    def _apply_close(self, bio: Bio) -> float:
+        zone = self.zone_at(bio.offset)
+        if zone.state is ZoneState.CLOSED:
+            return 0.0
+        if not zone.state.is_open:
+            raise ZoneStateError(
+                f"{self.name}: cannot close zone {zone.index} from "
+                f"{zone.state.value}")
+        if zone.write_pointer == zone.start:
+            self._transition(zone, ZoneState.EMPTY)
+        else:
+            self._transition(zone, ZoneState.CLOSED)
+        return 0.0
+
+    # -- durability ------------------------------------------------------------------
+
+    def _persist(self, bio: Bio) -> None:
+        if bio.aux is not None:  # flush or preflush snapshot
+            for index, wp in bio.aux.items():
+                zone = self.zones[index]
+                zone.durable_pointer = max(zone.durable_pointer,
+                                           min(wp, zone.write_pointer))
+        if bio.op in (Op.WRITE, Op.ZONE_APPEND) and bio.is_fua:
+            zone = self.zone_at(bio.offset)
+            # ZNS persistence is prefix-ordered within a zone: a durable
+            # write implies everything before it in the zone is durable.
+            end = bio.end_offset if bio.op is Op.WRITE else (
+                (bio.result or 0) + bio.length)
+            zone.durable_pointer = max(zone.durable_pointer,
+                                       min(end, zone.write_pointer))
+
+    # -- fault injection ----------------------------------------------------------------
+
+    def power_fail(self, loss_rng: Optional[random.Random] = None) -> None:
+        """Cut power, losing an arbitrary suffix of each zone's cached data.
+
+        For every zone, a random whole number of atomic write units from
+        the unflushed tail survives (sequential-persistence guarantee);
+        the rest is erased from media.  Open zones come back CLOSED, as
+        real devices close zones across power cycles.
+        """
+        rng = loss_rng or self._rng
+        self.power_off()
+        for zone in self.zones:
+            self._settle_zone_after_power_loss(zone, rng)
+
+    def _settle_zone_after_power_loss(self, zone: Zone,
+                                      rng: random.Random) -> None:
+        cached = zone.write_pointer - zone.durable_pointer
+        if cached > 0:
+            units = cached // self.atomic_write_bytes
+            tail = cached % self.atomic_write_bytes
+            kept_units = rng.randint(0, units)
+            kept = kept_units * self.atomic_write_bytes
+            if kept_units == units and tail and rng.random() < 0.5:
+                kept += tail
+            survivor = zone.durable_pointer + kept
+            self._media[survivor:zone.write_pointer] = bytes(
+                zone.write_pointer - survivor)
+            zone.write_pointer = survivor
+            zone.durable_pointer = survivor
+        if zone.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
+            return
+        if zone.state is ZoneState.FULL and not zone.finished_by_command \
+                and zone.write_pointer == zone.writable_end:
+            return
+        zone.finished_by_command = False
+        if zone.write_pointer == zone.start:
+            self._transition(zone, ZoneState.EMPTY)
+        elif zone.write_pointer == zone.writable_end:
+            self._transition(zone, ZoneState.FULL)
+        else:
+            self._transition(zone, ZoneState.CLOSED)
+
+    def set_zone_read_only(self, index: int) -> None:
+        """Inject an end-of-life READ_ONLY transition for zone ``index``."""
+        self._transition(self.zones[index], ZoneState.READ_ONLY)
+
+    def set_zone_offline(self, index: int) -> None:
+        """Inject an end-of-life OFFLINE transition for zone ``index``."""
+        self._transition(self.zones[index], ZoneState.OFFLINE)

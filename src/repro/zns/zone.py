@@ -1,0 +1,91 @@
+"""Per-zone bookkeeping for the simulated ZNS device."""
+
+from __future__ import annotations
+
+from ..errors import ZoneStateError
+from .spec import ZoneInfo, ZoneState
+
+
+class Zone:
+    """Mutable state of one physical zone.
+
+    ``write_pointer`` tracks the next writable byte; ``durable_pointer``
+    tracks the prefix of the zone that would survive power loss (ZNS
+    guarantees per-zone sequential persistence order, paper §1).  Data
+    between the two lives only in the device write cache.
+    """
+
+    __slots__ = (
+        "index",
+        "start",
+        "zone_size",
+        "capacity",
+        "state",
+        "write_pointer",
+        "durable_pointer",
+        "last_write_time",
+        "finished_by_command",
+    )
+
+    def __init__(self, index: int, start: int, zone_size: int, capacity: int):
+        if capacity > zone_size:
+            raise ValueError(
+                f"zone capacity {capacity} exceeds zone size {zone_size}")
+        self.index = index
+        self.start = start
+        self.zone_size = zone_size
+        self.capacity = capacity
+        self.state = ZoneState.EMPTY
+        self.write_pointer = start
+        self.durable_pointer = start
+        self.last_write_time = 0.0
+        #: True when the zone became FULL via an explicit finish command
+        #: with unwritten capacity remaining.
+        self.finished_by_command = False
+
+    @property
+    def writable_end(self) -> int:
+        return self.start + self.capacity
+
+    @property
+    def remaining(self) -> int:
+        """Writable bytes left before the zone is full."""
+        return self.writable_end - self.write_pointer
+
+    def info(self) -> ZoneInfo:
+        """An immutable snapshot for zone reports."""
+        return ZoneInfo(
+            index=self.index,
+            start=self.start,
+            capacity=self.capacity,
+            write_pointer=self.write_pointer,
+            state=self.state,
+        )
+
+    def reset(self) -> None:
+        """Return the zone to EMPTY (zone reset command effect)."""
+        if self.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
+            raise ZoneStateError(
+                f"zone {self.index} cannot be reset from {self.state.value}")
+        self.state = ZoneState.EMPTY
+        self.write_pointer = self.start
+        self.durable_pointer = self.start
+        self.finished_by_command = False
+
+    def finish(self) -> None:
+        """Force the zone to FULL (zone finish command effect)."""
+        if self.state is ZoneState.FULL:
+            return
+        if not self.state.is_writable:
+            raise ZoneStateError(
+                f"zone {self.index} cannot be finished from {self.state.value}")
+        if self.write_pointer < self.writable_end:
+            self.finished_by_command = True
+        self.state = ZoneState.FULL
+
+    def advance(self, nbytes: int, now: float) -> None:
+        """Advance the write pointer after a validated write of ``nbytes``."""
+        self.write_pointer += nbytes
+        self.last_write_time = now
+        if self.write_pointer == self.writable_end:
+            self.state = ZoneState.FULL

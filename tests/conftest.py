@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.raizn.config import RaiznConfig
+from repro.raizn.volume import RaiznVolume
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+from repro.zns.device import ZNSDevice
+
+#: Small but structurally interesting geometry used across tests:
+#: 5 devices, D=4 + P=1, 1 MiB zones => 4 MiB logical zones, 16 stripes
+#: per zone at the 64 KiB stripe unit.
+TEST_NUM_DEVICES = 5
+TEST_NUM_ZONES = 12
+TEST_ZONE_CAPACITY = 1 * MiB
+TEST_STRIPE_UNIT = 64 * KiB
+
+
+def make_zns_devices(sim: Simulator, n: int = TEST_NUM_DEVICES,
+                     num_zones: int = TEST_NUM_ZONES,
+                     zone_capacity: int = TEST_ZONE_CAPACITY,
+                     seed: int = 0):
+    """A uniform batch of simulated ZNS devices."""
+    return [ZNSDevice(sim, name=f"zns{i}", num_zones=num_zones,
+                      zone_capacity=zone_capacity, seed=seed + i)
+            for i in range(n)]
+
+
+def make_volume(sim: Simulator, **kwargs):
+    """A freshly formatted RAIZN volume plus its devices."""
+    devices = make_zns_devices(sim, **kwargs)
+    config = RaiznConfig(num_data=len(devices) - 1,
+                         stripe_unit_bytes=TEST_STRIPE_UNIT)
+    volume = RaiznVolume.create(sim, devices, config)
+    return volume, devices
+
+
+def pattern(length: int, seed: int = 0) -> bytes:
+    """Deterministic pseudo-random payload for data-integrity checks."""
+    return random.Random(seed).randbytes(length)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def zns(sim) -> ZNSDevice:
+    return ZNSDevice(sim, num_zones=8, zone_capacity=1 * MiB)
+
+
+@pytest.fixture
+def volume_and_devices(sim):
+    return make_volume(sim)
+
+
+@pytest.fixture
+def volume(volume_and_devices):
+    return volume_and_devices[0]

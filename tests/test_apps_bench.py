@@ -1,0 +1,92 @@
+"""Tests for the db_bench and sysbench-style application drivers."""
+
+import pytest
+
+from repro.apps import F2FS, LSMTree, db_bench
+from repro.apps.dbbench import make_key
+from repro.apps.oltp import prepare_tables, row_key, run_oltp
+from repro.errors import ReproError
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+from conftest import make_volume
+
+
+@pytest.fixture
+def lsm(sim):
+    volume, _devices = make_volume(sim)
+    fs = F2FS(sim, volume)
+    return LSMTree(sim, fs, memtable_bytes=256 * KiB,
+                   level_base_bytes=2 * MiB)
+
+
+class TestDbBench:
+    def test_fillseq(self, sim, lsm):
+        result = db_bench(sim, lsm, "fillseq", num_ops=300, value_size=1000)
+        assert result.operations == 300
+        assert result.ops_per_second > 0
+        assert result.write_latency.count == 300
+        assert sim.run_process(lsm.get(make_key(0))) is not None
+
+    def test_fillrandom_covers_keyspace(self, sim, lsm):
+        db_bench(sim, lsm, "fillrandom", num_ops=300, value_size=500,
+                 key_space=50, seed=1)
+        found = sum(1 for i in range(50)
+                    if sim.run_process(lsm.get(make_key(i))) is not None)
+        assert found > 40  # random coverage of a small keyspace
+
+    def test_overwrite_reuses_keys(self, sim, lsm):
+        db_bench(sim, lsm, "fillseq", num_ops=100, value_size=500)
+        result = db_bench(sim, lsm, "overwrite", num_ops=200,
+                          value_size=500, key_space=100, seed=2)
+        assert result.operations == 200
+
+    def test_readwhilewriting_mixes(self, sim, lsm):
+        db_bench(sim, lsm, "fillseq", num_ops=200, value_size=500)
+        result = db_bench(sim, lsm, "readwhilewriting", num_ops=160,
+                          value_size=500, key_space=200, read_threads=4,
+                          seed=3)
+        assert result.read_latency.count == 160
+        assert result.write_latency.count == 160
+
+    def test_unknown_workload_rejected(self, sim, lsm):
+        with pytest.raises(ReproError):
+            db_bench(sim, lsm, "nonsense", num_ops=1)
+
+
+class TestOltp:
+    def test_prepare_populates_tables(self, sim, lsm):
+        prepare_tables(sim, lsm, tables=2, rows=50)
+        assert sim.run_process(lsm.get(row_key(0, 0))) is not None
+        assert sim.run_process(lsm.get(row_key(1, 49))) is not None
+
+    def test_read_only_issues_no_writes(self, sim, lsm):
+        prepare_tables(sim, lsm, tables=2, rows=50)
+        puts_before = lsm.puts
+        result = run_oltp(sim, lsm, "oltp_read_only", threads=4,
+                          transactions=16, tables=2, rows=50)
+        assert result.transactions == 16
+        assert lsm.puts == puts_before
+
+    def test_write_only_mutates(self, sim, lsm):
+        prepare_tables(sim, lsm, tables=2, rows=50)
+        puts_before = lsm.puts
+        result = run_oltp(sim, lsm, "oltp_write_only", threads=4,
+                          transactions=16, tables=2, rows=50)
+        assert lsm.puts > puts_before
+        assert result.tps > 0
+        assert result.p95_latency >= result.avg_latency * 0.3
+
+    def test_read_write_combines(self, sim, lsm):
+        prepare_tables(sim, lsm, tables=2, rows=50)
+        gets_before = lsm.gets
+        puts_before = lsm.puts
+        run_oltp(sim, lsm, "oltp_read_write", threads=2,
+                 transactions=8, tables=2, rows=50)
+        assert lsm.gets > gets_before
+        assert lsm.puts > puts_before
+
+    def test_unknown_workload_rejected(self, sim, lsm):
+        with pytest.raises(ReproError):
+            run_oltp(sim, lsm, "oltp_nothing", threads=1, transactions=1,
+                     tables=1, rows=1)

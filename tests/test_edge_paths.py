@@ -1,0 +1,139 @@
+"""Targeted tests for rarely-hit paths: stitched relocation reads, mdraid
+write plugging, and volume durability bookkeeping."""
+
+import pytest
+
+from repro.block import Bio, BioFlags
+from repro.conv import ConventionalSSD
+from repro.mdraid import MdraidVolume
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+from conftest import TEST_STRIPE_UNIT, make_volume, pattern
+
+SU = TEST_STRIPE_UNIT
+STRIPE = 4 * SU
+
+
+class TestStitchedRelocationReads:
+    def _volume_with_partial_unit(self, sim):
+        """A zone where one SU's middle range is relocated while its
+        prefix and suffix remain valid on the device."""
+        volume, _devices = make_volume(sim)
+        data = pattern(STRIPE, seed=1)
+        volume.execute(Bio.write(0, data))
+        # Manufacture the §5.2 state directly: a relocation unit covering
+        # the middle of SU 0 with replacement content.
+        replacement = pattern(8 * KiB, seed=2)
+        device, _pba = volume.mapper.lba_to_pba(0)
+        unit = volume.relocations.unit_for(0, device, 0)
+        unit.write(4 * KiB, replacement)
+        volume.zone_descs[0].has_relocations = True
+        expected = bytearray(data)
+        expected[4 * KiB:12 * KiB] = replacement
+        return volume, bytes(expected)
+
+    def test_fully_covered_read_from_unit(self, sim):
+        volume, expected = self._volume_with_partial_unit(sim)
+        got = volume.execute(Bio.read(4 * KiB, 8 * KiB)).result
+        assert got == expected[4 * KiB:12 * KiB]
+
+    def test_straddling_read_is_stitched(self, sim):
+        volume, expected = self._volume_with_partial_unit(sim)
+        got = volume.execute(Bio.read(0, 16 * KiB)).result
+        assert got == expected[:16 * KiB]
+
+    def test_read_outside_unit_untouched(self, sim):
+        volume, expected = self._volume_with_partial_unit(sim)
+        got = volume.execute(Bio.read(16 * KiB, 16 * KiB)).result
+        assert got == expected[16 * KiB:32 * KiB]
+
+    def test_whole_su_read_stitches_three_ways(self, sim):
+        volume, expected = self._volume_with_partial_unit(sim)
+        got = volume.execute(Bio.read(0, SU)).result
+        assert got == expected[:SU]
+
+
+class TestMdraidPlugging:
+    def make_md(self, sim):
+        devices = [ConventionalSSD(sim, capacity_bytes=16 * MiB, seed=i)
+                   for i in range(5)]
+        return MdraidVolume(sim, devices), devices
+
+    def test_concurrent_small_writes_batch_into_one_stripe_update(self, sim):
+        md, devices = self.make_md(sim)
+        md.execute(Bio.write(0, pattern(4 * SU, seed=3)))  # warm stripe 0
+        writes_before = sum(d.stats.writes for d in devices)
+        events = [md.submit(Bio.write(i * 4 * KiB,
+                                      pattern(4 * KiB, seed=10 + i)))
+                  for i in range(16)]
+        sim.run()
+        assert all(e.ok for e in events)
+        writes_after = sum(d.stats.writes for d in devices)
+        # 16 sector writes batched into few chunk/parity device writes,
+        # far fewer than 2 device writes per logical write.
+        assert writes_after - writes_before < 16
+
+    def test_full_stripe_unplugs_immediately(self, sim):
+        md, _devices = self.make_md(sim)
+        began = sim.now
+        md.execute(Bio.write(0, pattern(4 * SU, seed=4)))
+        # No plug delay on full-stripe writes.
+        assert sim.now - began < md.plug_delay + 2e-3
+
+    def test_plugged_data_readable_after_completion(self, sim):
+        md, _devices = self.make_md(sim)
+        data = pattern(4 * KiB, seed=5)
+        md.execute(Bio.write(0, data))
+        assert md.execute(Bio.read(0, 4 * KiB)).result == data
+
+
+class TestVolumeDurabilityBookkeeping:
+    def test_flush_marks_all_active_zones(self, sim):
+        volume, _devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=6)))
+        volume.execute(Bio.write(volume.zone_capacity,
+                                 pattern(2 * SU, seed=7)))
+        volume.execute(Bio.flush())
+        for zone in (0, 1):
+            desc = volume.zone_descs[zone]
+            assert desc.persistence.frontier == \
+                desc.su_index_of(desc.write_pointer - 1) + 1
+
+    def test_fua_only_flushes_devices_with_unpersisted_sus(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=8)))
+        volume.execute(Bio.flush())
+        flushes_before = [d.stats.flushes for d in devices]
+        # Everything persisted: a FUA write should not fan out flushes.
+        volume.execute(Bio.write(STRIPE, b"\x01" * 4096,
+                                 BioFlags.FUA))
+        flushes_after = [d.stats.flushes for d in devices]
+        assert flushes_after == flushes_before
+
+    def test_second_fua_skips_already_persisted(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(2 * SU, seed=9)))
+        volume.execute(Bio.write(2 * SU, b"\x01" * 4096,
+                                 BioFlags.FUA | BioFlags.PREFLUSH))
+        flushes_mid = sum(d.stats.flushes for d in devices)
+        volume.execute(Bio.write(2 * SU + 4096, b"\x02" * 4096,
+                                 BioFlags.FUA | BioFlags.PREFLUSH))
+        # The bitmap frontier means no further flush fan-out is needed.
+        assert sum(d.stats.flushes for d in devices) == flushes_mid
+
+    def test_zone_append_emulation_survives_crash(self, sim):
+        import random
+        from repro.faults import power_cycle
+        from repro.raizn import mount
+        volume, devices = make_volume(sim)
+        first = volume.execute(Bio.zone_append(0, pattern(4 * KiB, seed=10),
+                                               BioFlags.FUA))
+        second = volume.execute(Bio.zone_append(0, pattern(4 * KiB, seed=11),
+                                                BioFlags.FUA))
+        assert (first.result, second.result) == (0, 4 * KiB)
+        power_cycle(devices, random.Random(1))
+        remounted = mount(sim, devices)
+        assert remounted.zone_info(0).write_pointer >= 8 * KiB
+        got = remounted.execute(Bio.read(0, 8 * KiB)).result
+        assert got == pattern(4 * KiB, seed=10) + pattern(4 * KiB, seed=11)

@@ -1,0 +1,155 @@
+"""Unit and integration tests for the LSM key-value store."""
+
+import random
+
+import pytest
+
+from repro.apps import F2FS, LSMTree
+from repro.apps.dbbench import make_key
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+from conftest import make_volume, pattern
+
+
+@pytest.fixture
+def lsm(sim):
+    volume, _devices = make_volume(sim)
+    fs = F2FS(sim, volume)
+    return LSMTree(sim, fs, memtable_bytes=256 * KiB,
+                   level_base_bytes=1 * MiB)
+
+
+def run(sim, gen):
+    return sim.run_process(gen)
+
+
+class TestBasicOps:
+    def test_put_get(self, sim, lsm):
+        run(sim, lsm.put(b"k1", b"v1"))
+        assert run(sim, lsm.get(b"k1")) == b"v1"
+
+    def test_get_missing(self, sim, lsm):
+        assert run(sim, lsm.get(b"nope")) is None
+
+    def test_update_overwrites(self, sim, lsm):
+        run(sim, lsm.put(b"k", b"old"))
+        run(sim, lsm.put(b"k", b"new"))
+        assert run(sim, lsm.get(b"k")) == b"new"
+
+    def test_delete(self, sim, lsm):
+        run(sim, lsm.put(b"k", b"v"))
+        run(sim, lsm.delete(b"k"))
+        assert run(sim, lsm.get(b"k")) is None
+
+    def test_delete_survives_flush(self, sim, lsm):
+        run(sim, lsm.put(b"k", b"v"))
+        run(sim, lsm.flush())
+        run(sim, lsm.delete(b"k"))
+        run(sim, lsm.flush())
+        assert run(sim, lsm.get(b"k")) is None
+
+    def test_empty_value(self, sim, lsm):
+        run(sim, lsm.put(b"k", b""))
+        run(sim, lsm.flush())
+        assert run(sim, lsm.get(b"k")) == b""
+
+
+class TestFlushAndRead:
+    def test_get_from_sstable(self, sim, lsm):
+        value = pattern(4000, seed=1)
+        run(sim, lsm.put(b"key", value))
+        run(sim, lsm.flush())
+        assert not lsm.memtable
+        assert run(sim, lsm.get(b"key")) == value
+
+    def test_newest_l0_wins(self, sim, lsm):
+        run(sim, lsm.put(b"k", b"first"))
+        run(sim, lsm.flush())
+        run(sim, lsm.put(b"k", b"second"))
+        run(sim, lsm.flush())
+        assert run(sim, lsm.get(b"k")) == b"second"
+
+    def test_memtable_shadows_sstables(self, sim, lsm):
+        run(sim, lsm.put(b"k", b"disk"))
+        run(sim, lsm.flush())
+        run(sim, lsm.put(b"k", b"memory"))
+        assert run(sim, lsm.get(b"k")) == b"memory"
+
+    def test_automatic_flush_on_memtable_full(self, sim, lsm):
+        value = pattern(4000, seed=2)
+        for i in range(200):
+            run(sim, lsm.put(make_key(i), value))
+        assert lsm.flushes >= 1
+        assert run(sim, lsm.get(make_key(0))) == value
+
+    def test_wal_rotated_on_flush(self, sim, lsm):
+        first_wal = lsm._wal_path
+        run(sim, lsm.put(b"k", b"v"))
+        run(sim, lsm.flush())
+        assert lsm._wal_path != first_wal
+        assert not lsm.fs.exists(first_wal)
+
+
+class TestCompaction:
+    def test_compaction_preserves_data(self, sim, lsm):
+        rng = random.Random(3)
+        expected = {}
+        for i in range(600):
+            key = make_key(rng.randrange(150))
+            value = pattern(2000, seed=i)
+            expected[key] = value
+            run(sim, lsm.put(key, value))
+        run(sim, lsm.flush())
+        assert lsm.compactions >= 1
+        for key, value in list(expected.items())[:50]:
+            assert run(sim, lsm.get(key)) == value
+
+    def test_compaction_moves_tables_down(self, sim, lsm):
+        value = pattern(4000, seed=4)
+        for i in range(400):
+            run(sim, lsm.put(make_key(i), value))
+        run(sim, lsm.flush())
+        assert any(lsm.levels[1:][level] for level in
+                   range(len(lsm.levels) - 1))
+
+    def test_tombstones_survive_intermediate_compaction(self, sim, lsm):
+        value = pattern(3000, seed=5)
+        for i in range(200):
+            run(sim, lsm.put(make_key(i), value))
+        run(sim, lsm.flush())
+        run(sim, lsm.delete(make_key(7)))
+        for i in range(200, 400):
+            run(sim, lsm.put(make_key(i), value))
+        run(sim, lsm.flush())
+        assert run(sim, lsm.get(make_key(7))) is None
+
+    def test_scan(self, sim, lsm):
+        for i in range(30):
+            run(sim, lsm.put(make_key(i), b"v%d" % i))
+        run(sim, lsm.flush())
+        for i in range(30, 40):
+            run(sim, lsm.put(make_key(i), b"v%d" % i))
+        results = run(sim, lsm.scan(make_key(5), 10))
+        assert [k for k, _v in results] == [make_key(i)
+                                            for i in range(5, 15)]
+        assert results[0][1] == b"v5"
+
+    def test_randomized_model_check(self, sim, lsm):
+        """The LSM agrees with a plain dict under random churn."""
+        rng = random.Random(6)
+        model = {}
+        for step in range(800):
+            key = make_key(rng.randrange(100))
+            action = rng.random()
+            if action < 0.6:
+                value = pattern(rng.randrange(100, 2000), seed=step)
+                model[key] = value
+                run(sim, lsm.put(key, value))
+            elif action < 0.8:
+                model.pop(key, None)
+                run(sim, lsm.delete(key))
+            else:
+                assert run(sim, lsm.get(key)) == model.get(key)
+        for key, value in model.items():
+            assert run(sim, lsm.get(key)) == value

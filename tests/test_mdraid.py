@@ -1,0 +1,235 @@
+"""Unit and integration tests for the mdraid RAID-5 baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.block import Bio, Op
+from repro.conv import ConventionalSSD
+from repro.errors import DataLossError, InvalidAddressError, RaiznError
+from repro.mdraid import MdraidVolume, StripeCache
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+from conftest import pattern
+
+CHUNK = 64 * KiB
+STRIPE = 4 * CHUNK
+
+
+def make_md(sim, capacity=16 * MiB, n=5, **kwargs):
+    devices = [ConventionalSSD(sim, name=f"c{i}", capacity_bytes=capacity,
+                               seed=i) for i in range(n)]
+    return MdraidVolume(sim, devices, **kwargs), devices
+
+
+class TestLayout:
+    def test_capacity(self, sim):
+        md, _ = make_md(sim)
+        assert md.capacity == 4 * 16 * MiB
+
+    def test_parity_rotation(self, sim):
+        md, _ = make_md(sim)
+        parities = [md.layout(stripe)[0] for stripe in range(5)]
+        assert sorted(parities) == [0, 1, 2, 3, 4]
+
+    def test_too_few_devices_rejected(self, sim):
+        devices = [ConventionalSSD(sim, capacity_bytes=MiB) for _ in range(2)]
+        with pytest.raises(RaiznError):
+            MdraidVolume(sim, devices)
+
+    def test_mismatched_capacity_rejected(self, sim):
+        devices = [ConventionalSSD(sim, capacity_bytes=MiB) for _ in range(4)]
+        devices.append(ConventionalSSD(sim, capacity_bytes=2 * MiB))
+        with pytest.raises(RaiznError):
+            MdraidVolume(sim, devices)
+
+
+class TestReadWrite:
+    def test_full_stripe_roundtrip(self, sim):
+        md, _ = make_md(sim)
+        data = pattern(STRIPE, seed=1)
+        md.execute(Bio.write(0, data))
+        assert md.execute(Bio.read(0, STRIPE)).result == data
+
+    def test_sub_stripe_write_rmw(self, sim):
+        md, _ = make_md(sim)
+        md.execute(Bio.write(0, pattern(STRIPE, seed=2)))
+        patch = pattern(8 * KiB, seed=3)
+        md.execute(Bio.write(68 * KiB, patch))
+        got = md.execute(Bio.read(64 * KiB, 64 * KiB)).result
+        assert got[4 * KiB:12 * KiB] == patch
+
+    def test_random_overwrites(self, sim):
+        import random
+        md, _ = make_md(sim)
+        rng = random.Random(4)
+        image = bytearray(2 * STRIPE)
+        md.execute(Bio.write(0, bytes(image)))
+        for _ in range(30):
+            offset = rng.randrange(0, 2 * STRIPE - 4 * KiB, 4 * KiB)
+            data = pattern(4 * KiB, seed=rng.randrange(1000))
+            image[offset:offset + 4 * KiB] = data
+            md.execute(Bio.write(offset, data))
+        assert md.execute(Bio.read(0, 2 * STRIPE)).result == bytes(image)
+
+    def test_out_of_range_rejected(self, sim):
+        md, _ = make_md(sim)
+        with pytest.raises(InvalidAddressError):
+            md.execute(Bio.read(md.capacity, 4096))
+
+    def test_zone_ops_rejected(self, sim):
+        md, _ = make_md(sim)
+        from repro.errors import ZoneStateError
+        with pytest.raises(ZoneStateError):
+            md.execute(Bio.zone_reset(0))
+
+    def test_discard_forwarded(self, sim):
+        md, devices = make_md(sim)
+        md.execute(Bio.write(0, pattern(STRIPE, seed=5)))
+        md.execute(Bio(Op.DISCARD, offset=0, length=STRIPE))
+        assert md.execute(Bio.read(0, STRIPE)).result == bytes(STRIPE)
+
+
+class TestParityConsistency:
+    def _parity_ok(self, md, devices, stripe):
+        pba = md.chunk_pba(stripe)
+        parity_dev, data_devs = md.layout(stripe)
+        chunks = [devices[d].execute(Bio.read(pba, CHUNK)).result
+                  for d in data_devs]
+        parity = devices[parity_dev].execute(Bio.read(pba, CHUNK)).result
+        acc = bytearray(CHUNK)
+        for chunk in chunks:
+            for i, b in enumerate(chunk):
+                acc[i] ^= b
+        return bytes(acc) == parity
+
+    def test_parity_after_full_stripe(self, sim):
+        md, devices = make_md(sim)
+        md.execute(Bio.write(0, pattern(STRIPE, seed=6)))
+        assert self._parity_ok(md, devices, 0)
+
+    def test_parity_after_sub_stripe_updates(self, sim):
+        md, devices = make_md(sim)
+        md.execute(Bio.write(0, pattern(2 * STRIPE, seed=7)))
+        md.execute(Bio.write(4 * KiB, pattern(4 * KiB, seed=8)))
+        md.execute(Bio.write(STRIPE + 128 * KiB, pattern(32 * KiB, seed=9)))
+        assert self._parity_ok(md, devices, 0)
+        assert self._parity_ok(md, devices, 1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 127), st.integers(1, 32)),
+                    min_size=1, max_size=12))
+    def test_parity_invariant_random_writes(self, writes):
+        sim = Simulator()
+        md, devices = make_md(sim, capacity=4 * MiB)
+        for sector, count in writes:
+            offset = sector * 4 * KiB
+            nbytes = min(count * 4 * KiB, md.capacity - offset)
+            md.execute(Bio.write(offset, pattern(nbytes, seed=sector)))
+        touched = set()
+        for sector, count in writes:
+            start = sector * 4 * KiB // STRIPE
+            end = min((sector + count) * 4 * KiB, md.capacity - 1) // STRIPE
+            touched.update(range(start, end + 1))
+        for stripe in touched:
+            assert self._parity_ok(md, devices, stripe)
+
+
+class TestDegradedAndResync:
+    def test_degraded_read(self, sim):
+        md, _ = make_md(sim)
+        data = pattern(2 * STRIPE, seed=10)
+        md.execute(Bio.write(0, data))
+        md.fail_device(2)
+        assert md.execute(Bio.read(0, 2 * STRIPE)).result == data
+
+    def test_degraded_write_and_read(self, sim):
+        md, _ = make_md(sim)
+        md.fail_device(1)
+        data = pattern(2 * STRIPE, seed=11)
+        md.execute(Bio.write(0, data))
+        assert md.execute(Bio.read(0, 2 * STRIPE)).result == data
+
+    def test_degraded_sub_stripe_write(self, sim):
+        md, _ = make_md(sim)
+        data = pattern(STRIPE, seed=12)
+        md.execute(Bio.write(0, data))
+        md.fail_device(0)
+        patch = pattern(4 * KiB, seed=13)
+        md.execute(Bio.write(0, patch))
+        expected = patch + data[4 * KiB:]
+        assert md.execute(Bio.read(0, STRIPE)).result == expected
+
+    def test_second_failure_rejected(self, sim):
+        md, _ = make_md(sim)
+        md.fail_device(0)
+        with pytest.raises(DataLossError):
+            md.fail_device(1)
+
+    def test_resync_restores_data_and_redundancy(self, sim):
+        md, _ = make_md(sim, capacity=8 * MiB)
+        data = pattern(4 * STRIPE, seed=14)
+        md.execute(Bio.write(0, data))
+        md.fail_device(3)
+        replacement = ConventionalSSD(sim, name="new",
+                                      capacity_bytes=8 * MiB, seed=99)
+        report = md.resync(3, replacement)
+        # mdraid resyncs the ENTIRE device, regardless of fill (§6.2).
+        assert report.bytes_written == 8 * MiB
+        assert md.execute(Bio.read(0, 4 * STRIPE)).result == data
+        md.fail_device(0)
+        assert md.execute(Bio.read(0, 4 * STRIPE)).result == data
+
+    def test_resync_constant_regardless_of_fill(self, sim):
+        md, _ = make_md(sim, capacity=8 * MiB)
+        md.execute(Bio.write(0, pattern(STRIPE, seed=15)))
+        md.fail_device(0)
+        replacement = ConventionalSSD(sim, name="new",
+                                      capacity_bytes=8 * MiB, seed=98)
+        report = md.resync(0, replacement)
+        assert report.bytes_written == 8 * MiB
+
+    def test_resync_wrong_capacity_rejected(self, sim):
+        md, _ = make_md(sim, capacity=8 * MiB)
+        md.fail_device(0)
+        replacement = ConventionalSSD(sim, capacity_bytes=4 * MiB)
+        with pytest.raises(RaiznError):
+            sim.run_process(md.resync_process(0, replacement))
+
+
+class TestStripeCache:
+    def test_lru_eviction(self):
+        cache = StripeCache(num_stripes=2, num_data=4)
+        cache.put(0, [b""] * 5)
+        cache.put(1, [b""] * 5)
+        cache.get(0)
+        cache.put(2, [b""] * 5)  # evicts 1 (LRU)
+        assert cache.get(1) is None
+        assert cache.get(0) is not None
+
+    def test_hit_miss_counters(self):
+        cache = StripeCache(num_stripes=4, num_data=4)
+        cache.put(0, [b""] * 5)
+        cache.get(0)
+        cache.get(9)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cache_avoids_reads_on_repeat_writes(self, sim):
+        md, devices = make_md(sim)
+        # A full-stripe write populates the stripe cache...
+        md.execute(Bio.write(0, pattern(STRIPE, seed=16)))
+        reads_before = sum(d.stats.reads for d in devices)
+        # ...so subsequent sub-stripe writes need no RMW reads.
+        md.execute(Bio.write(4 * KiB, pattern(4 * KiB, seed=17)))
+        reads_after = sum(d.stats.reads for d in devices)
+        assert reads_after == reads_before
+
+    def test_uncached_small_write_reads_subranges_only(self, sim):
+        md, devices = make_md(sim)
+        md.execute(Bio.write(0, pattern(STRIPE, seed=18)))
+        md.cache.invalidate()
+        bytes_before = sum(d.stats.bytes_read for d in devices)
+        md.execute(Bio.write(0, pattern(4 * KiB, seed=19)))
+        bytes_read = sum(d.stats.bytes_read for d in devices) - bytes_before
+        # Sector-granular RMW: old data sector + old parity sector.
+        assert bytes_read == 8 * KiB

@@ -1,0 +1,198 @@
+"""Unit tests for RAIZN's smaller components: stripe buffers, persistence
+bitmaps, zone descriptors, and the relocation store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RaiznError
+from repro.raizn.relocation import RelocatedUnit, RelocationStore
+from repro.raizn.stripebuf import StripeBuffer, StripeBufferPool
+from repro.raizn.zonedesc import LogicalZoneDesc, PersistenceBitmap
+from repro.units import KiB
+from repro.zns import ZoneState
+
+
+class TestStripeBuffer:
+    def test_sequential_absorb(self):
+        buffer = StripeBuffer(0, 0, num_data=2, su=16)
+        buffer.absorb(0, b"\x01" * 10)
+        buffer.absorb(10, b"\x02" * 10)
+        assert buffer.fill_end == 20
+        assert not buffer.full
+        buffer.absorb(20, b"\x03" * 12)
+        assert buffer.full
+
+    def test_non_sequential_absorb_rejected(self):
+        buffer = StripeBuffer(0, 0, num_data=2, su=16)
+        with pytest.raises(RaiznError):
+            buffer.absorb(4, b"\x01" * 4)
+
+    def test_overflow_rejected(self):
+        buffer = StripeBuffer(0, 0, num_data=2, su=16)
+        with pytest.raises(RaiznError):
+            buffer.absorb(0, b"\x01" * 40)
+
+    def test_data_unit_zero_padded(self):
+        buffer = StripeBuffer(0, 0, num_data=2, su=16)
+        buffer.absorb(0, b"\xff" * 4)
+        assert buffer.data_unit(0) == b"\xff" * 4 + bytes(12)
+        assert buffer.data_unit(1) == bytes(16)
+
+    def test_full_parity_equals_xor_of_units(self):
+        buffer = StripeBuffer(0, 0, num_data=3, su=8)
+        buffer.absorb(0, bytes(range(24)))
+        parity = buffer.full_parity()
+        expected = bytes(a ^ b ^ c for a, b, c in
+                         zip(bytes(range(8)), bytes(range(8, 16)),
+                             bytes(range(16, 24))))
+        assert parity == expected
+
+    def test_delta_parity_empty_chunk_rejected(self):
+        with pytest.raises(RaiznError):
+            StripeBuffer.delta_parity(0, b"", 16)
+
+
+class TestStripeBufferPool:
+    def test_acquire_release_cycle(self):
+        pool = StripeBufferPool(0, num_data=2, su=16, capacity=2)
+        a = pool.acquire(0)
+        assert pool.acquire(0) is a  # same stripe, same buffer
+        b = pool.acquire(1)
+        assert pool.occupied == 2
+        assert pool.acquire(2) is None  # exhausted
+        pool.release(0)
+        assert pool.acquire(2) is not None
+
+    def test_active_sorted(self):
+        pool = StripeBufferPool(0, num_data=2, su=16, capacity=4)
+        for stripe in (3, 1, 2):
+            pool.acquire(stripe)
+        assert [b.stripe for b in pool.active()] == [1, 2, 3]
+
+    def test_clear(self):
+        pool = StripeBufferPool(0, num_data=2, su=16, capacity=4)
+        pool.acquire(0)
+        pool.clear()
+        assert pool.occupied == 0
+        assert pool.get(0) is None
+
+
+class TestPersistenceBitmap:
+    def test_mark_and_frontier(self):
+        bitmap = PersistenceBitmap(8)
+        bitmap.mark_persisted(0)
+        bitmap.mark_persisted(1)
+        assert bitmap.frontier == 2
+        bitmap.mark_persisted(3)
+        assert bitmap.frontier == 2  # gap at 2
+
+    def test_mark_up_to(self):
+        bitmap = PersistenceBitmap(8)
+        bitmap.mark_up_to(5)
+        assert bitmap.frontier == 5
+        assert bitmap.is_persisted(4)
+        assert not bitmap.is_persisted(5)
+
+    def test_unpersisted_in(self):
+        bitmap = PersistenceBitmap(8)
+        bitmap.mark_persisted(1)
+        assert bitmap.unpersisted_in(0, 4) == [0, 2, 3]
+        bitmap.mark_up_to(4)
+        assert bitmap.unpersisted_in(0, 4) == []
+
+    def test_reset(self):
+        bitmap = PersistenceBitmap(4)
+        bitmap.mark_up_to(4)
+        bitmap.reset()
+        assert bitmap.frontier == 0
+
+    @given(st.lists(st.integers(0, 31), max_size=64))
+    def test_frontier_invariant(self, marks):
+        bitmap = PersistenceBitmap(32)
+        for index in marks:
+            bitmap.mark_persisted(index)
+        assert all(bitmap.bits[i] for i in range(bitmap.frontier))
+        assert bitmap.frontier == 32 or not bitmap.bits[bitmap.frontier]
+
+
+class TestLogicalZoneDesc:
+    def make(self):
+        return LogicalZoneDesc(zone=2, start_lba=8 * 1024 * 1024,
+                               capacity=4 * 1024 * 1024, num_data=4,
+                               su=64 * KiB, stripe_buffers=8)
+
+    def test_initial_state(self):
+        desc = self.make()
+        assert desc.state is ZoneState.EMPTY
+        assert desc.write_pointer == desc.start_lba
+        assert desc.written_bytes == 0
+
+    def test_su_index_of(self):
+        desc = self.make()
+        assert desc.su_index_of(desc.start_lba) == 0
+        assert desc.su_index_of(desc.start_lba + 64 * KiB) == 1
+        assert desc.su_index_of(desc.start_lba + 64 * KiB - 1) == 0
+
+    def test_reset_clears_everything(self):
+        desc = self.make()
+        desc.write_pointer += 128 * KiB
+        desc.state = ZoneState.IMPLICIT_OPEN
+        desc.has_relocations = True
+        desc.persistence.mark_up_to(2)
+        desc.buffers.acquire(0)
+        desc.reset()
+        assert desc.state is ZoneState.EMPTY
+        assert desc.write_pointer == desc.start_lba
+        assert not desc.has_relocations
+        assert desc.persistence.frontier == 0
+        assert desc.buffers.occupied == 0
+
+
+class TestRelocation:
+    def test_unit_write_and_read(self):
+        unit = RelocatedUnit(su_lba=1000 * KiB, device=1, su_size=64 * KiB)
+        unit.write(1000 * KiB + 4096, b"\xab" * 4096)
+        assert unit.covers(1000 * KiB + 4096, 4096)
+        assert not unit.covers(1000 * KiB, 4096)
+        assert unit.read(1000 * KiB + 4096, 4096) == b"\xab" * 4096
+
+    def test_extent_merge(self):
+        unit = RelocatedUnit(0, 0, 64 * KiB)
+        unit.write(0, b"\x01" * 4096)
+        unit.write(4096, b"\x02" * 4096)
+        assert unit.extents == [(0, 8192)]
+        assert unit.covers(0, 8192)
+
+    def test_out_of_bounds_write_rejected(self):
+        unit = RelocatedUnit(0, 0, 4096)
+        with pytest.raises(ValueError):
+            unit.write(4096, b"\x00" * 10)
+
+    def test_overlaps_relative_ranges(self):
+        unit = RelocatedUnit(0, 0, 64 * KiB)
+        unit.write(8192, b"\x01" * 4096)
+        assert unit.overlaps(4096, 12288) == [(4096, 8192)]
+        assert unit.overlaps(0, 4096) == []
+
+    def test_store_counts_per_zone(self):
+        store = RelocationStore(su_size=64 * KiB)
+        store.unit_for(0, device=1, phys_zone=0)
+        store.unit_for(64 * KiB, device=1, phys_zone=0)
+        store.unit_for(0, device=1, phys_zone=0)  # same unit, no recount
+        assert store.per_phys_zone[(1, 0)] == 2
+        assert len(store) == 2
+
+    def test_store_drop_zone(self):
+        store = RelocationStore(su_size=64 * KiB)
+        store.unit_for(0, device=0, phys_zone=0)
+        store.unit_for(4 * 1024 * 1024, device=0, phys_zone=1)
+        store.drop_zone(0, 4 * 1024 * 1024)
+        store.rebuild_counters(lambda unit: 1)
+        assert len(store) == 1
+        assert store.lookup(0) is None
+
+    def test_units_on_device(self):
+        store = RelocationStore(su_size=64 * KiB)
+        store.unit_for(0, device=0, phys_zone=0)
+        store.unit_for(64 * KiB, device=2, phys_zone=0)
+        assert [u.device for u in store.units_on_device(2)] == [2]

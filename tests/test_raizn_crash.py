@@ -1,0 +1,263 @@
+"""Crash-consistency tests: power loss, recovery, and the ZNS edge cases
+of paper §5 (stripe holes, partial zone resets, FUA guarantees)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.block import Bio, BioFlags
+from repro.faults import CrashPoint, power_cycle, power_fail_array
+from repro.raizn import mount
+from repro.raizn.mdzone import MetadataRole
+from repro.raizn.metadata import encode_zone_reset
+from repro.sim import Simulator
+from repro.units import KiB
+from repro.zns import ZoneState
+
+from conftest import TEST_STRIPE_UNIT, make_volume, pattern
+
+SU = TEST_STRIPE_UNIT
+STRIPE = 4 * SU
+
+
+def crash_and_remount(sim, volume, devices, seed=0):
+    power_cycle(devices, random.Random(seed))
+    return mount(sim, list(devices))
+
+
+class TestCleanRemount:
+    def test_remount_preserves_everything(self, sim):
+        volume, devices = make_volume(sim)
+        data = pattern(2 * STRIPE + 12 * KiB, seed=1)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.flush())
+        remounted = mount(sim, devices)
+        assert remounted.zone_info(0).write_pointer == len(data)
+        assert remounted.execute(Bio.read(0, len(data))).result == data
+
+    def test_remount_preserves_generation(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, b"\x01" * 4096))
+        volume.execute(Bio.zone_reset(0))
+        generation = volume.generation[0]
+        volume.execute(Bio.flush())
+        remounted = mount(sim, devices)
+        # Empty zones are bumped once more at mount (§4.3).
+        assert remounted.generation[0] == generation + 1
+
+    def test_remount_with_shuffled_devices(self, sim):
+        volume, devices = make_volume(sim)
+        data = pattern(STRIPE, seed=2)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.flush())
+        shuffled = [devices[i] for i in (3, 1, 4, 0, 2)]
+        remounted = mount(sim, shuffled)
+        assert remounted.execute(Bio.read(0, STRIPE)).result == data
+
+    def test_remount_can_continue_writing(self, sim):
+        volume, devices = make_volume(sim)
+        data = pattern(STRIPE + 8 * KiB, seed=3)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.flush())
+        remounted = mount(sim, devices)
+        more = pattern(STRIPE, seed=4)
+        remounted.execute(Bio.write(len(data), more))
+        got = remounted.execute(Bio.read(0, len(data) + STRIPE)).result
+        assert got == data + more
+
+    def test_double_remount_stable(self, sim):
+        volume, devices = make_volume(sim)
+        data = pattern(STRIPE + 4 * KiB, seed=5)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.flush())
+        first = mount(sim, devices)
+        second = mount(sim, devices)
+        assert second.zone_info(0).write_pointer == len(data)
+        assert second.execute(Bio.read(0, len(data))).result == data
+
+
+class TestPowerLossConsistency:
+    def test_readable_prefix_after_crash(self, sim):
+        volume, devices = make_volume(sim)
+        data = pattern(5 * STRIPE, seed=6)
+        volume.execute(Bio.write(0, data))
+        remounted = crash_and_remount(sim, volume, devices, seed=11)
+        wp = remounted.zone_info(0).write_pointer
+        assert wp <= len(data)
+        if wp:
+            assert remounted.execute(Bio.read(0, wp)).result == data[:wp]
+
+    def test_fua_data_never_lost(self, sim):
+        volume, devices = make_volume(sim)
+        head = pattern(STRIPE + 12 * KiB, seed=7)
+        volume.execute(Bio.write(0, head[:STRIPE]))
+        volume.execute(Bio.write(STRIPE, head[STRIPE:],
+                                 BioFlags.FUA | BioFlags.PREFLUSH))
+        volume.execute(Bio.write(len(head), pattern(8 * KiB, seed=8)))
+        remounted = crash_and_remount(sim, volume, devices, seed=13)
+        assert remounted.zone_info(0).write_pointer >= len(head)
+        assert remounted.execute(Bio.read(0, len(head))).result == head
+
+    def test_continue_after_crash_with_stripe_hole(self, sim):
+        volume, devices = make_volume(sim)
+        data = pattern(6 * STRIPE, seed=9)
+        volume.execute(Bio.write(0, data))
+        remounted = crash_and_remount(sim, volume, devices, seed=17)
+        wp = remounted.zone_info(0).write_pointer
+        more = pattern(2 * STRIPE, seed=10)
+        remounted.execute(Bio.write(wp, more))
+        remounted.execute(Bio.flush())
+        got = remounted.execute(Bio.read(0, wp + len(more))).result
+        assert got == data[:wp] + more
+
+    def test_relocated_data_survives_next_crash(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(6 * STRIPE, seed=11)))
+        remounted = crash_and_remount(sim, volume, devices, seed=19)
+        wp = remounted.zone_info(0).write_pointer
+        more = pattern(2 * STRIPE, seed=12)
+        remounted.execute(Bio.write(wp, more))
+        remounted.execute(Bio.flush())
+        again = mount(sim, devices)
+        assert again.zone_info(0).write_pointer == wp + len(more)
+        got = again.execute(Bio.read(wp, len(more))).result
+        assert got == more
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10 ** 9), st.integers(1, 40))
+    def test_crash_anywhere_preserves_prefix_property(self, seed, nwrites):
+        """Fundamental §5 guarantee: after any crash, the recovered zone
+        is a readable prefix of what was written, and the volume accepts
+        new writes at its write pointer."""
+        sim = Simulator()
+        volume, devices = make_volume(sim)
+        rng = random.Random(seed)
+        blob = pattern(nwrites * 12 * KiB, seed=seed)
+        offset = 0
+        for _ in range(nwrites):
+            nbytes = rng.choice((4 * KiB, 8 * KiB, 12 * KiB))
+            volume.execute(Bio.write(offset, blob[offset:offset + nbytes]))
+            offset += nbytes
+        power_cycle(devices, random.Random(seed + 1))
+        remounted = mount(sim, devices)
+        wp = remounted.zone_info(0).write_pointer
+        assert wp <= offset
+        if wp:
+            assert remounted.execute(Bio.read(0, wp)).result == blob[:wp]
+        remounted.execute(Bio.write(wp, b"\x77" * 4096))
+        assert remounted.execute(
+            Bio.read(wp, 4096)).result == b"\x77" * 4096
+
+
+class TestZoneResetCrash:
+    def test_interrupted_reset_completes_on_mount(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(4 * STRIPE, seed=13)))
+        volume.execute(Bio.flush())
+        # Simulate a crash between the reset WAL and the physical resets:
+        # log the WAL, reset only two devices, then lose power.
+        layout = volume.mapper.stripe_layout(0, 0)
+        for device_index in {layout.data_devices[0], layout.parity_device}:
+            sim.run_process(volume.mdzones[device_index].append(
+                MetadataRole.GENERAL,
+                encode_zone_reset(0, volume.zone_descs[0].write_pointer,
+                                  volume.generation[0]),
+                fua=True))
+        devices[0].execute(Bio.zone_reset(0))
+        devices[2].execute(Bio.zone_reset(0))
+        power_cycle(devices, random.Random(23))
+        remounted = mount(sim, devices)
+        info = remounted.zone_info(0)
+        assert info.state is ZoneState.EMPTY
+        assert info.write_pointer == 0
+
+    def test_stale_reset_log_ignored(self, sim):
+        """A reset log from a previous zone generation must not re-reset
+        the zone after it has been legitimately rewritten."""
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=14)))
+        volume.execute(Bio.zone_reset(0))          # log + reset + gen bump
+        data = pattern(2 * STRIPE, seed=15)
+        volume.execute(Bio.write(0, data))          # rewrite after reset
+        volume.execute(Bio.flush())
+        remounted = mount(sim, devices)
+        assert remounted.zone_info(0).write_pointer == len(data)
+        assert remounted.execute(Bio.read(0, len(data))).result == data
+
+    def test_crash_after_all_resets_before_gen_persist(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=16)))
+        volume.execute(Bio.flush())
+        generation = volume.generation[0]
+        for dev in devices:
+            dev.execute(Bio.zone_reset(0))
+        power_cycle(devices, random.Random(29))
+        remounted = mount(sim, devices)
+        assert remounted.zone_info(0).state is ZoneState.EMPTY
+        # Mount bumps the empty zone's counter, invalidating stale logs.
+        assert remounted.generation[0] >= generation + 1
+
+
+class TestCrashPointInjection:
+    def test_crash_point_cuts_power_mid_operation(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=17)))
+        volume.execute(Bio.flush())
+        crash = CrashPoint(devices, after=3, rng=random.Random(5))
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            for i in range(1, 16):
+                volume.execute(Bio.write(STRIPE + (i - 1) * 4 * KiB,
+                                         b"\xaa" * 4096))
+        assert crash.fired
+        crash.disarm()
+        for dev in devices:
+            dev.power_on()
+        remounted = mount(sim, devices)
+        wp = remounted.zone_info(0).write_pointer
+        assert wp >= STRIPE  # the flushed stripe is intact
+        got = remounted.execute(Bio.read(0, STRIPE)).result
+        assert got == pattern(STRIPE, seed=17)
+
+    def test_crash_point_op_filter(self, sim):
+        from repro.block import Op
+        volume, devices = make_volume(sim)
+        crash = CrashPoint(devices, after=1, ops=(Op.ZONE_RESET,),
+                           rng=random.Random(6))
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=18)))  # no crash
+        assert not crash.fired
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            volume.execute(Bio.zone_reset(0))
+        assert crash.fired
+
+
+class TestMetadataCrash:
+    def test_metadata_gc_interrupted_by_crash(self, sim):
+        """Logs from both the old metadata zone and the swap zone are
+        ingested; duplicates resolve by generation counter (§4.3)."""
+        volume, devices = make_volume(sim)
+        data = pattern(STRIPE + 8 * KiB, seed=19)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.flush())
+        # Force a metadata GC rotation on one device, then crash without
+        # letting anything else happen.
+        sim.run_process(volume.mdzones[0].force_gc(MetadataRole.GENERAL))
+        power_cycle(devices, random.Random(31))
+        remounted = mount(sim, devices)
+        assert remounted.execute(Bio.read(0, len(data))).result == data
+
+    def test_many_resets_trigger_metadata_gc(self, sim):
+        """Generation-counter logs eventually fill the metadata zone and
+        exercise the swap-zone rotation during normal operation."""
+        volume, devices = make_volume(sim)
+        for _ in range(150):
+            volume.execute(Bio.write(0, b"\x01" * 4096))
+            volume.execute(Bio.zone_reset(0))
+        assert any(mdz.gc_cycles > 0 for mdz in volume.mdzones)
+        volume.execute(Bio.flush())
+        remounted = mount(sim, devices)
+        assert remounted.generation[0] > 150
+        remounted.execute(Bio.write(0, b"\x02" * 4096))
+        assert remounted.execute(Bio.read(0, 4096)).result == b"\x02" * 4096

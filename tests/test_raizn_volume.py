@@ -1,0 +1,285 @@
+"""Integration tests for the RAIZN volume: write/read paths, parity,
+zone management, FUA semantics, and error handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.block import Bio, BioFlags, Op
+from repro.errors import (
+    DataLossError,
+    InvalidAddressError,
+    ReadUnwrittenError,
+    VolumeStateError,
+    WritePointerViolation,
+    ZoneStateError,
+)
+from repro.raizn import RaiznConfig, RaiznVolume
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+from repro.zns import ZoneState
+
+from conftest import (
+    TEST_STRIPE_UNIT,
+    TEST_ZONE_CAPACITY,
+    make_volume,
+    make_zns_devices,
+    pattern,
+)
+
+SU = TEST_STRIPE_UNIT
+STRIPE = 4 * SU  # D = 4
+
+
+class TestGeometry:
+    def test_capacity_excludes_parity_and_metadata(self, volume):
+        # 12 zones, 3 metadata => 9 data zones; D=4 of 5 devices.
+        assert volume.num_zones == 9
+        assert volume.zone_capacity == 4 * TEST_ZONE_CAPACITY
+        assert volume.capacity == 9 * 4 * TEST_ZONE_CAPACITY
+
+    def test_zone_report(self, volume):
+        report = volume.report_zones()
+        assert len(report) == 9
+        assert all(info.state is ZoneState.EMPTY for info in report)
+
+    def test_mismatched_geometry_rejected(self, sim):
+        devices = make_zns_devices(sim, n=4)
+        devices.append(make_zns_devices(sim, n=1, num_zones=20)[0])
+        with pytest.raises(Exception):
+            RaiznVolume.create(sim, devices)
+
+
+class TestWriteRead:
+    def test_full_stripe_roundtrip(self, volume):
+        data = pattern(STRIPE, seed=1)
+        volume.execute(Bio.write(0, data))
+        assert volume.execute(Bio.read(0, STRIPE)).result == data
+
+    def test_sector_writes_roundtrip(self, volume):
+        data = pattern(16 * KiB, seed=2)
+        for offset in range(0, 16 * KiB, 4 * KiB):
+            volume.execute(Bio.write(offset, data[offset:offset + 4 * KiB]))
+        assert volume.execute(Bio.read(0, 16 * KiB)).result == data
+
+    def test_multi_stripe_write(self, volume):
+        data = pattern(3 * STRIPE + 12 * KiB, seed=3)
+        volume.execute(Bio.write(0, data))
+        assert volume.execute(Bio.read(0, len(data))).result == data
+
+    def test_unaligned_read_offsets(self, volume):
+        data = pattern(2 * STRIPE, seed=4)
+        volume.execute(Bio.write(0, data))
+        for offset, length in ((4 * KiB, 8 * KiB), (SU - 4 * KiB, 8 * KiB),
+                               (STRIPE - 4 * KiB, 8 * KiB)):
+            got = volume.execute(Bio.read(offset, length)).result
+            assert got == data[offset:offset + length]
+
+    def test_write_pointer_enforced(self, volume):
+        volume.execute(Bio.write(0, b"\x01" * 4096))
+        with pytest.raises(WritePointerViolation):
+            volume.execute(Bio.write(64 * KiB, b"\x02" * 4096))
+
+    def test_read_beyond_wp_rejected(self, volume):
+        volume.execute(Bio.write(0, b"\x01" * 4096))
+        with pytest.raises(ReadUnwrittenError):
+            volume.execute(Bio.read(0, 8192))
+
+    def test_read_across_zone_boundary(self, volume):
+        zone_cap = volume.zone_capacity
+        volume.execute(Bio.write(0, pattern(zone_cap, seed=5)))
+        data2 = pattern(8 * KiB, seed=6)
+        volume.execute(Bio.write(zone_cap, data2))
+        got = volume.execute(Bio.read(zone_cap - 4 * KiB, 8 * KiB)).result
+        assert got[4 * KiB:] == data2[:4 * KiB]
+
+    def test_write_fills_zone_to_full(self, volume):
+        volume.execute(Bio.write(0, pattern(volume.zone_capacity, seed=7)))
+        assert volume.zone_info(0).state is ZoneState.FULL
+
+    def test_second_zone_independent(self, volume):
+        zone1 = volume.zone_capacity
+        data = pattern(STRIPE, seed=8)
+        volume.execute(Bio.write(zone1, data))
+        assert volume.execute(Bio.read(zone1, STRIPE)).result == data
+        assert volume.zone_info(0).state is ZoneState.EMPTY
+
+    def test_misaligned_write_rejected(self, volume):
+        with pytest.raises(InvalidAddressError):
+            volume.execute(Bio.write(0, b"\x01" * 100))
+
+    def test_parity_written_for_complete_stripes(self, volume_and_devices):
+        volume, devices = volume_and_devices
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=9)))
+        layout = volume.mapper.stripe_layout(0, 0)
+        parity_dev = devices[layout.parity_device]
+        assert parity_dev.zone_info(0).write_pointer >= SU
+
+    def test_partial_parity_logged_for_incomplete_stripe(
+            self, volume_and_devices):
+        volume, devices = volume_and_devices
+        volume.execute(Bio.write(0, b"\x01" * 4096))
+        layout = volume.mapper.stripe_layout(0, 0)
+        mdz = volume.mdzones[layout.parity_device]
+        from repro.raizn.mdzone import MetadataRole
+        pp_zone = mdz.role_zone[MetadataRole.PARTIAL_PARITY]
+        assert mdz.used[pp_zone] >= 8192  # header + delta
+
+
+class TestZoneAppendEmulation:
+    def test_append_returns_lba(self, volume):
+        bio = volume.execute(Bio.zone_append(0, b"\x01" * 4096))
+        assert bio.result == 0
+        bio = volume.execute(Bio.zone_append(0, b"\x02" * 4096))
+        assert bio.result == 4096
+
+    def test_append_requires_zone_start(self, volume):
+        with pytest.raises(InvalidAddressError):
+            volume.execute(Bio.zone_append(4096, b"\x01" * 4096))
+
+
+class TestFlushAndFua:
+    def test_flush_broadcasts(self, volume_and_devices):
+        volume, devices = volume_and_devices
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=10)))
+        volume.execute(Bio.flush())
+        assert all(dev.stats.flushes >= 1 for dev in devices)
+
+    def test_fua_write_persists_prefix(self, volume_and_devices):
+        volume, devices = volume_and_devices
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=11)))
+        volume.execute(Bio.write(STRIPE, b"\x01" * 4096,
+                                 BioFlags.FUA | BioFlags.PREFLUSH))
+        # Every device holding data below the FUA write is now durable.
+        for device_index in range(5):
+            zone = devices[device_index].zones[0]
+            assert zone.durable_pointer == zone.write_pointer
+
+    def test_fua_updates_persistence_bitmap(self, volume):
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=12)))
+        volume.execute(Bio.write(STRIPE, b"\x01" * 4096, BioFlags.FUA))
+        desc = volume.zone_descs[0]
+        assert desc.persistence.frontier >= 4
+
+    def test_plain_write_does_not_mark_persisted(self, volume):
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=13)))
+        assert volume.zone_descs[0].persistence.frontier == 0
+
+
+class TestZoneManagement:
+    def test_reset_cycle(self, volume):
+        data = pattern(STRIPE, seed=14)
+        volume.execute(Bio.write(0, data))
+        generation = volume.generation[0]
+        volume.execute(Bio.zone_reset(0))
+        assert volume.zone_info(0).state is ZoneState.EMPTY
+        assert volume.generation[0] == generation + 1
+        data2 = pattern(STRIPE, seed=15)
+        volume.execute(Bio.write(0, data2))
+        assert volume.execute(Bio.read(0, STRIPE)).result == data2
+
+    def test_reset_requires_zone_start(self, volume):
+        with pytest.raises(InvalidAddressError):
+            volume.execute(Bio.zone_reset(4096))
+
+    def test_reset_resets_physical_zones(self, volume_and_devices):
+        volume, devices = volume_and_devices
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=16)))
+        volume.execute(Bio.zone_reset(0))
+        for dev in devices:
+            assert dev.zone_info(0).write_pointer == 0
+
+    def test_finish_seals_zone(self, volume):
+        data = pattern(STRIPE + 8 * KiB, seed=17)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.zone_finish(0))
+        assert volume.zone_info(0).state is ZoneState.FULL
+        assert volume.execute(Bio.read(0, len(data))).result == data
+        with pytest.raises(ZoneStateError):
+            volume.execute(Bio.write(len(data), b"\x01" * 4096))
+
+    def test_finished_partial_stripe_readable_degraded(self, volume):
+        """Finish writes the tail stripe's parity, so a later device
+        failure can still reconstruct the partial stripe."""
+        data = pattern(SU + 8 * KiB, seed=18)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.zone_finish(0))
+        device, _pba = volume.mapper.lba_to_pba(0)
+        volume.fail_device(device)
+        assert volume.execute(Bio.read(0, len(data))).result == data
+
+    def test_explicit_open_close(self, volume):
+        volume.execute(Bio.zone_open(0))
+        assert volume.zone_info(0).state is ZoneState.EXPLICIT_OPEN
+        volume.execute(Bio.write(0, b"\x01" * 4096))
+        volume.execute(Bio.zone_close(0))
+        assert volume.zone_info(0).state is ZoneState.CLOSED
+
+    def test_open_limit_auto_close(self, sim):
+        devices = make_zns_devices(sim, num_zones=12)
+        for dev in devices:
+            dev.max_open_zones = 5  # logical budget: 5 - 2 = 3
+        config = RaiznConfig(num_data=4, stripe_unit_bytes=SU)
+        volume = RaiznVolume.create(sim, devices, config)
+        assert volume.max_open_logical == 3
+        for zone in range(5):
+            volume.execute(Bio.write(zone * volume.zone_capacity,
+                                     b"\x01" * 4096))
+        open_zones = [d for d in volume.zone_descs if d.state.is_open]
+        assert len(open_zones) == 3
+        assert volume.zone_descs[0].state is ZoneState.CLOSED
+
+
+class TestFailureHandling:
+    def test_double_failure_rejected(self, volume):
+        volume.fail_device(0)
+        with pytest.raises(DataLossError):
+            volume.fail_device(1)
+
+    def test_read_only_volume_rejects_writes(self, volume):
+        volume.read_only = True
+        with pytest.raises(VolumeStateError):
+            volume.execute(Bio.write(0, b"\x01" * 4096))
+        with pytest.raises(VolumeStateError):
+            volume.execute(Bio.zone_reset(0))
+
+    def test_generation_overflow_forces_read_only(self, volume):
+        volume.execute(Bio.write(0, b"\x01" * 4096))
+        volume.generation[0] = 2 ** 64 - 2
+        volume.execute(Bio.zone_reset(0))
+        assert volume.read_only
+
+
+class TestDataIntegrityProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=96),
+                    min_size=1, max_size=24),
+           st.integers(0, 2 ** 30))
+    def test_arbitrary_sequential_write_pattern(self, sizes, seed):
+        """Any sequence of sector-aligned writes reads back exactly."""
+        sim = Simulator()
+        volume, _devices = make_volume(sim)
+        blob = pattern(sum(sizes) * 4 * KiB, seed=seed)
+        offset = 0
+        for size in sizes:
+            # ZNS writes cannot cross a zone boundary; clamp like a
+            # zone-aware application would.
+            nbytes = min(size * 4 * KiB, volume.zone_capacity - offset)
+            if nbytes == 0:
+                break
+            volume.execute(Bio.write(offset, blob[offset:offset + nbytes]))
+            offset += nbytes
+        assert volume.execute(Bio.read(0, offset)).result == blob[:offset]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2 ** 30))
+    def test_queued_writes_complete_in_order(self, seed):
+        sim = Simulator()
+        volume, _devices = make_volume(sim)
+        blob = pattern(32 * 4 * KiB, seed=seed)
+        events = []
+        for i in range(32):
+            events.append(volume.submit(
+                Bio.write(i * 4 * KiB, blob[i * 4 * KiB:(i + 1) * 4 * KiB])))
+        sim.run()
+        assert all(e.ok for e in events)
+        assert volume.execute(Bio.read(0, len(blob))).result == blob

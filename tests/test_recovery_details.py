@@ -1,0 +1,168 @@
+"""Mount-time recovery edge cases: superblock discovery, device identity,
+metadata compaction, and degraded-mount behaviour."""
+
+import random
+
+import pytest
+
+from repro.block import Bio
+from repro.errors import DataLossError, RecoveryError
+from repro.faults import power_cycle
+from repro.raizn import RaiznVolume, mount
+from repro.raizn.mdzone import MetadataRole
+from repro.sim import Simulator
+from repro.units import KiB
+from repro.zns import ZNSDevice, ZoneState
+
+from conftest import TEST_STRIPE_UNIT, make_volume, make_zns_devices, pattern
+
+SU = TEST_STRIPE_UNIT
+STRIPE = 4 * SU
+
+
+class TestSuperblockDiscovery:
+    def test_blank_devices_rejected(self, sim):
+        devices = make_zns_devices(sim)
+        with pytest.raises(RecoveryError):
+            mount(sim, devices)
+
+    def test_foreign_device_rejected(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.flush())
+        sim2_volume, other_devices = make_volume(sim)
+        mixed = devices[:4] + [other_devices[0]]
+        with pytest.raises(RecoveryError):
+            mount(sim, mixed)
+
+    def test_too_few_devices_rejected(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.flush())
+        with pytest.raises(DataLossError):
+            mount(sim, devices[:3])
+
+    def test_superblock_found_after_metadata_gc(self, sim):
+        """The general metadata zone migrates between physical zones; the
+        backwards superblock scan must still find it."""
+        volume, devices = make_volume(sim)
+        data = pattern(STRIPE, seed=1)
+        volume.execute(Bio.write(0, data))
+        for index in range(5):
+            sim.run_process(
+                volume.mdzones[index].force_gc(MetadataRole.GENERAL))
+        volume.execute(Bio.flush())
+        remounted = mount(sim, devices)
+        assert remounted.execute(Bio.read(0, STRIPE)).result == data
+
+
+class TestDegradedMount:
+    def test_mount_with_missing_device_slot(self, sim):
+        volume, devices = make_volume(sim)
+        data = pattern(2 * STRIPE, seed=2)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.flush())
+        presented = list(devices)
+        presented[1] = None
+        degraded = mount(sim, presented)
+        assert degraded.failed[1]
+        assert degraded.execute(Bio.read(0, len(data))).result == data
+
+    def test_degraded_mount_tail_from_partial_parity(self, sim):
+        """§5.1: with a device missing, the tail stripe's lost unit is
+        reconstructed by combining all logged partial parity."""
+        volume, devices = make_volume(sim)
+        data = pattern(STRIPE + 28 * KiB, seed=3)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.flush())
+        missing = volume.mapper.lba_to_pba(STRIPE)[0]  # holds tail data
+        presented = list(devices)
+        presented[missing] = None
+        degraded = mount(sim, presented)
+        assert degraded.zone_info(0).write_pointer == len(data)
+        assert degraded.execute(Bio.read(0, len(data))).result == data
+
+    def test_degraded_mount_can_write(self, sim):
+        volume, devices = make_volume(sim)
+        data = pattern(STRIPE, seed=4)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.flush())
+        presented = list(devices)
+        presented[0] = None
+        degraded = mount(sim, presented)
+        more = pattern(STRIPE, seed=5)
+        degraded.execute(Bio.write(STRIPE, more))
+        got = degraded.execute(Bio.read(0, 2 * STRIPE)).result
+        assert got == data + more
+
+
+class TestMetadataCompaction:
+    def test_mount_compacts_metadata_zones(self, sim):
+        volume, devices = make_volume(sim)
+        for i in range(10):
+            volume.execute(Bio.write(i * 4 * KiB, b"\x01" * 4096))
+        volume.execute(Bio.flush())
+        remounted = mount(sim, devices)
+        # After compaction at most two metadata zones are non-empty and
+        # at least one swap zone is ready on each device.
+        for index, dev in enumerate(devices):
+            nonempty = sum(
+                1 for z in range(remounted.num_data_zones, dev.num_zones)
+                if dev.zone_info(z).write_pointer
+                > dev.zone_info(z).start)
+            assert nonempty <= 2
+            assert len(remounted.mdzones[index].swap_zones) >= 1
+
+    def test_generation_counters_survive_compaction(self, sim):
+        volume, devices = make_volume(sim)
+        for _ in range(5):
+            volume.execute(Bio.write(0, b"\x01" * 4096))
+            volume.execute(Bio.zone_reset(0))
+        generation = volume.generation[0]
+        volume.execute(Bio.flush())
+        remounted = mount(sim, devices)
+        assert remounted.generation[0] >= generation
+
+
+class TestZoneStatesAfterMount:
+    def test_full_zone_stays_full(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(volume.zone_capacity, seed=6)))
+        volume.execute(Bio.flush())
+        remounted = mount(sim, devices)
+        assert remounted.zone_info(0).state is ZoneState.FULL
+
+    def test_partial_zone_comes_back_closed(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(STRIPE, seed=7)))
+        volume.execute(Bio.flush())
+        remounted = mount(sim, devices)
+        assert remounted.zone_info(0).state is ZoneState.CLOSED
+
+    def test_persistence_bitmap_rebuilt(self, sim):
+        """Everything on media after a crash is durable by definition."""
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(2 * STRIPE, seed=8)))
+        volume.execute(Bio.flush())
+        power_cycle(devices, random.Random(1))
+        remounted = mount(sim, devices)
+        desc = remounted.zone_descs[0]
+        assert desc.persistence.frontier == \
+            desc.su_index_of(desc.write_pointer - 1) + 1
+
+    def test_tail_stripe_buffer_rebuilt(self, sim):
+        """An incomplete tail stripe needs its buffer back so the next
+        write completing the stripe can compute full parity."""
+        volume, devices = make_volume(sim)
+        data = pattern(SU + 8 * KiB, seed=9)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.flush())
+        remounted = mount(sim, devices)
+        buffer = remounted.zone_descs[0].buffers.get(0)
+        assert buffer is not None
+        assert buffer.fill_end == len(data)
+        # Completing the stripe must produce correct parity: verify by
+        # degraded read afterwards.
+        rest = pattern(STRIPE - len(data), seed=10)
+        remounted.execute(Bio.write(len(data), rest))
+        remounted.fail_device(volume.mapper.lba_to_pba(0)[0])
+        got = remounted.execute(Bio.read(0, STRIPE)).result
+        assert got == data + rest

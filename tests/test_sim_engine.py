@@ -1,0 +1,248 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Lock, Queue, Resource, Simulator
+
+
+class TestEventBasics:
+    def test_event_starts_untriggered(self, sim):
+        event = sim.event()
+        assert not event.triggered
+
+    def test_succeed_delivers_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered and event.ok and event.value == 42
+
+    def test_double_trigger_raises(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_callback_after_trigger_still_runs(self, sim):
+        event = sim.event()
+        event.succeed(7)
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [7]
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(2.5)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_timeouts_fire_in_order(self, sim):
+        order = []
+        sim.timeout(2.0).add_callback(lambda e: order.append("b"))
+        sim.timeout(1.0).add_callback(lambda e: order.append("a"))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_equal_times_fifo(self, sim):
+        order = []
+        for tag in "abc":
+            sim.timeout(1.0, tag).add_callback(
+                lambda e: order.append(e.value))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestProcess:
+    def test_process_returns_value(self, sim):
+        def worker():
+            yield sim.timeout(1.0)
+            return "done"
+        assert sim.run_process(worker()) == "done"
+        assert sim.now == 1.0
+
+    def test_process_receives_event_value(self, sim):
+        def worker():
+            value = yield sim.timeout(0.5, "payload")
+            return value
+        assert sim.run_process(worker()) == "payload"
+
+    def test_nested_processes(self, sim):
+        def inner():
+            yield sim.timeout(1.0)
+            return 10
+        def outer():
+            value = yield sim.process(inner())
+            return value + 1
+        assert sim.run_process(outer()) == 11
+
+    def test_failed_event_raises_inside_process(self, sim):
+        event = sim.event()
+        def worker():
+            with pytest.raises(ValueError):
+                yield event
+            return "caught"
+        proc = sim.process(worker())
+        event.fail(ValueError("boom"))
+        sim.run()
+        assert proc.value == "caught"
+
+    def test_unhandled_process_failure_surfaces(self, sim):
+        def worker():
+            yield sim.timeout(0.1)
+            raise RuntimeError("unnoticed")
+        sim.process(worker())
+        with pytest.raises(RuntimeError, match="unnoticed"):
+            sim.run()
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def worker():
+            yield 42
+        with pytest.raises(SimulationError):
+            sim.run_process(worker())
+
+
+class TestCombinators:
+    def test_all_of_collects_values(self, sim):
+        events = [sim.timeout(t, t) for t in (3.0, 1.0, 2.0)]
+        def waiter():
+            values = yield sim.all_of(events)
+            return values
+        assert sim.run_process(waiter()) == [3.0, 1.0, 2.0]
+        assert sim.now == 3.0
+
+    def test_all_of_empty_succeeds_immediately(self, sim):
+        def waiter():
+            values = yield sim.all_of([])
+            return values
+        assert sim.run_process(waiter()) == []
+
+    def test_all_of_fails_fast(self, sim):
+        good = sim.timeout(5.0)
+        bad = sim.event()
+        def waiter():
+            try:
+                yield sim.all_of([good, bad])
+            except ValueError:
+                return sim.now
+        proc = sim.process(waiter())
+        sim.schedule(1.0, bad.fail, ValueError("x"))
+        sim.run()
+        assert proc.value == 1.0
+
+    def test_any_of_returns_first(self, sim):
+        def waiter():
+            value = yield sim.any_of([sim.timeout(2.0, "slow"),
+                                      sim.timeout(1.0, "fast")])
+            return value
+        assert sim.run_process(waiter()) == "fast"
+
+    def test_any_of_empty_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+
+class TestRunUntil:
+    def test_run_until_stops_clock(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+    def test_run_until_resumable(self, sim):
+        fired = []
+        sim.timeout(10.0).add_callback(lambda e: fired.append(sim.now))
+        sim.run(until=4.0)
+        assert fired == []
+        sim.run()
+        assert fired == [10.0]
+
+    def test_run_until_past_all_events(self, sim):
+        sim.timeout(1.0)
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, sim):
+        resource = Resource(sim, 2)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        sim.run()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+
+    def test_release_wakes_fifo(self, sim):
+        resource = Resource(sim, 1)
+        resource.request()
+        waiters = [resource.request() for _ in range(3)]
+        resource.release()
+        sim.run()
+        assert [w.triggered for w in waiters] == [True, False, False]
+
+    def test_release_without_request_raises(self, sim):
+        resource = Resource(sim, 1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, 0)
+
+    def test_queue_length(self, sim):
+        resource = Resource(sim, 1)
+        resource.request()
+        resource.request()
+        assert resource.queue_length == 1
+
+
+class TestLockAndQueue:
+    def test_lock_mutual_exclusion(self, sim):
+        lock = Lock(sim)
+        held = []
+        def worker(tag):
+            yield lock.request()
+            held.append(tag)
+            yield sim.timeout(1.0)
+            held.append(-tag)
+            lock.release()
+        sim.process(worker(1))
+        sim.process(worker(2))
+        sim.run()
+        assert held == [1, -1, 2, -2]
+
+    def test_queue_fifo_handoff(self, sim):
+        queue = Queue(sim)
+        got = []
+        def consumer():
+            for _ in range(3):
+                item = yield queue.get()
+                got.append(item)
+        sim.process(consumer())
+        for item in "xyz":
+            queue.put(item)
+        sim.run()
+        assert got == ["x", "y", "z"]
+
+    def test_queue_get_before_put(self, sim):
+        queue = Queue(sim)
+        event = queue.get()
+        queue.put("later")
+        sim.run()
+        assert event.value == "later"
+
+    def test_queue_len(self, sim):
+        queue = Queue(sim)
+        queue.put(1)
+        queue.put(2)
+        assert len(queue) == 2

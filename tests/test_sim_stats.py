@@ -1,0 +1,118 @@
+"""Unit and property tests for the measurement helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import LatencyStats, ThroughputSeries, throughput_mib_s
+from repro.units import MiB
+
+
+class TestLatencyStats:
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            LatencyStats().percentile(50)
+
+    def test_single_sample(self):
+        stats = LatencyStats()
+        stats.add(0.5)
+        assert stats.median == 0.5
+        assert stats.p999 == 0.5
+        assert stats.maximum == 0.5
+
+    def test_median_of_known_set(self):
+        stats = LatencyStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.median == 3.0
+        assert stats.mean == 3.0
+
+    def test_percentile_interpolates(self):
+        stats = LatencyStats()
+        stats.extend([0.0, 1.0])
+        assert stats.percentile(25) == pytest.approx(0.25)
+
+    def test_out_of_range_percentile(self):
+        stats = LatencyStats()
+        stats.add(1.0)
+        with pytest.raises(ValueError):
+            stats.percentile(101)
+
+    def test_unsorted_input_handled(self):
+        stats = LatencyStats()
+        stats.extend([5.0, 1.0, 3.0])
+        assert stats.median == 3.0
+        assert stats.maximum == 5.0
+
+    def test_summary_keys(self):
+        stats = LatencyStats()
+        stats.extend([1.0, 2.0])
+        summary = stats.summary()
+        assert set(summary) == {"count", "mean", "median", "p95", "p99",
+                                "p99.9", "max"}
+        assert summary["count"] == 2
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3,
+                              allow_subnormal=False),
+                    min_size=1, max_size=200))
+    def test_percentiles_monotonic(self, samples):
+        stats = LatencyStats()
+        stats.extend(samples)
+        values = [stats.percentile(p) for p in (0, 25, 50, 75, 99, 100)]
+        assert values == sorted(values)
+        assert values[0] == min(samples)
+        assert values[-1] == max(samples)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3,
+                              allow_subnormal=False),
+                    min_size=1, max_size=100))
+    def test_mean_bounded_by_extremes(self, samples):
+        stats = LatencyStats()
+        stats.extend(samples)
+        # Summation rounding can undershoot the minimum by an ULP.
+        assert min(samples) * (1 - 1e-12) - 1e-300 <= stats.mean
+        assert stats.mean <= max(samples) * (1 + 1e-12) + 1e-300
+
+
+class TestThroughputSeries:
+    def test_empty_series(self):
+        assert ThroughputSeries().series() == []
+
+    def test_bucket_accumulation(self):
+        series = ThroughputSeries(bucket_seconds=1.0)
+        series.record(0.5, 10 * MiB)
+        series.record(0.9, 10 * MiB)
+        series.record(2.5, 5 * MiB)
+        points = series.series()
+        assert points[0] == (0.0, 20.0)
+        assert points[1] == (1.0, 0.0)  # gaps reported as zero
+        assert points[2] == (2.0, 5.0)
+
+    def test_total_bytes(self):
+        series = ThroughputSeries()
+        series.record(0.1, 100)
+        series.record(5.0, 200)
+        assert series.total_bytes == 300
+
+    def test_mean_throughput(self):
+        series = ThroughputSeries()
+        series.record(0.0, 10 * MiB)
+        series.record(10.0, 10 * MiB)
+        assert series.mean_throughput_mib_s() == pytest.approx(2.0)
+
+    def test_invalid_bucket_width(self):
+        with pytest.raises(ValueError):
+            ThroughputSeries(bucket_seconds=0)
+
+    def test_throughput_helper(self):
+        assert throughput_mib_s(10 * MiB, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            throughput_mib_s(1, 0)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                              st.integers(min_value=0, max_value=10 * MiB)),
+                    min_size=1, max_size=50))
+    def test_series_conserves_bytes(self, records):
+        series = ThroughputSeries(bucket_seconds=1.0)
+        for at, nbytes in records:
+            series.record(at, nbytes)
+        total_from_series = sum(v for _t, v in series.series()) * MiB
+        assert total_from_series == pytest.approx(series.total_bytes)

@@ -1,0 +1,39 @@
+"""Wall-clock regression guard for the simulator datapath.
+
+``BENCH_datapath.json`` commits a before/after measurement of the
+datapath fast-path work (best-of-5, same harness, same machine, back to
+back); this benchmark re-runs the write-path scenarios at a reduced
+scale so CI notices if the fast path rots, without paying for the
+full-scale measurement.
+"""
+
+import json
+import pathlib
+
+from repro.harness.perfbench import run_datapath_bench
+
+from conftest import run_once
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_recorded_speedup_met_the_target():
+    recorded = json.loads((_REPO_ROOT / "BENCH_datapath.json").read_text())
+    macro = recorded["write_path_macro"]
+    assert macro["speedup"] >= 2.0, (
+        "committed measurement no longer meets the 2x write-path target; "
+        "re-run `python -m repro.harness.perfbench --repeat 5` and "
+        "investigate before updating BENCH_datapath.json")
+
+
+def test_write_path_smoke(benchmark, print_rows):
+    report = run_once(benchmark, lambda: run_datapath_bench(
+        fast=True, only=["seq_write", "multizone_write", "oltp_flush"],
+        repeats=2))
+    rows = "\n".join(
+        f"{s.name:<18}{s.mib_per_wall_second:>10.1f} MiB/wall-s"
+        for s in report.scenarios)
+    print_rows("datapath write-path smoke (FAST_SCALE)", rows)
+    # Determinism across the two repeats is asserted inside the harness;
+    # here we only require that the fast path still moves data.
+    assert report.write_path_mib_per_wall_second > 0

@@ -39,6 +39,11 @@ class BioFlags(enum.IntFlag):
     PREFLUSH = 2
 
 
+#: Plain-int flag masks for the per-command hot path.
+_FUA = int(BioFlags.FUA)
+_PREFLUSH = int(BioFlags.PREFLUSH)
+
+
 class Bio:
     """One IO request.
 
@@ -71,18 +76,21 @@ class Bio:
     ):
         if offset < 0:
             raise InvalidAddressError(f"negative bio offset: {offset}")
-        if op in (Op.WRITE, Op.ZONE_APPEND):
+        if op is Op.WRITE or op is Op.ZONE_APPEND:
             if data is None:
                 raise ValueError(f"{op.value} bio requires data")
             length = len(data)
-        elif op == Op.READ:
+        elif op is Op.READ:
             if length <= 0:
                 raise ValueError("READ bio requires a positive length")
         self.op = op
         self.offset = offset
         self.data = data
         self.length = length
-        self.flags = flags
+        # Stored as a plain int: IntFlag arithmetic costs a dynamic class
+        # lookup per `&`, and flags are tested on every command.  IntFlag
+        # members compare and combine with ints transparently.
+        self.flags = int(flags)
         self.result: object = None
         self.submit_time: Optional[float] = None
         self.complete_time: Optional[float] = None
@@ -98,14 +106,24 @@ class Bio:
 
     @classmethod
     def write(cls, offset: int, data: bytes, flags: BioFlags = BioFlags.NONE) -> "Bio":
-        """A write of ``data`` at byte ``offset``."""
-        return cls(Op.WRITE, offset=offset, data=bytes(data), flags=flags)
+        """A write of ``data`` at byte ``offset``.
+
+        ``data`` may be any readable buffer (``bytes``, ``bytearray``,
+        ``memoryview``); it is NOT copied.  The caller must not mutate the
+        buffer while the bio is in flight — the RAIZN fan-out path exploits
+        this to slice one logical payload into stripe units without a copy
+        per unit.
+        """
+        return cls(Op.WRITE, offset=offset, data=data, flags=flags)
 
     @classmethod
     def zone_append(cls, zone_start: int, data: bytes,
                     flags: BioFlags = BioFlags.NONE) -> "Bio":
-        """A zone append into the zone starting at byte ``zone_start``."""
-        return cls(Op.ZONE_APPEND, offset=zone_start, data=bytes(data), flags=flags)
+        """A zone append into the zone starting at byte ``zone_start``.
+
+        Like :meth:`write`, ``data`` is borrowed, not copied.
+        """
+        return cls(Op.ZONE_APPEND, offset=zone_start, data=data, flags=flags)
 
     @classmethod
     def flush(cls) -> "Bio":
@@ -136,11 +154,11 @@ class Bio:
 
     @property
     def is_fua(self) -> bool:
-        return bool(self.flags & BioFlags.FUA)
+        return bool(self.flags & _FUA)
 
     @property
     def is_preflush(self) -> bool:
-        return bool(self.flags & BioFlags.PREFLUSH)
+        return bool(self.flags & _PREFLUSH)
 
     @property
     def end_offset(self) -> int:
@@ -156,7 +174,8 @@ class Bio:
 
     def check_alignment(self) -> None:
         """Raise unless offset and length are sector aligned (data ops only)."""
-        if self.op in (Op.READ, Op.WRITE, Op.ZONE_APPEND):
+        op = self.op
+        if op is Op.READ or op is Op.WRITE or op is Op.ZONE_APPEND:
             if self.offset % SECTOR_SIZE or self.length % SECTOR_SIZE:
                 raise InvalidAddressError(
                     f"{self.op.value} bio not sector aligned: "

@@ -59,16 +59,25 @@ class ServiceTimeModel:
     #: Relative jitter amplitude (uniform, +/- fraction of service time).
     jitter: float = 0.05
 
+    def __post_init__(self) -> None:
+        # Precomputed per-channel transfer rates: occupancy_time runs once
+        # per simulated command, so the two divisions per call add up.
+        # (The dataclass is frozen; __setattr__ must be bypassed.)
+        object.__setattr__(self, "_read_rate",
+                           self.read_bandwidth / self.channels)
+        object.__setattr__(self, "_write_rate",
+                           self.write_bandwidth / self.channels)
+
     def occupancy_time(self, op: Op, nbytes: int,
                        rng: Optional[random.Random] = None) -> float:
         """Time one command holds a channel."""
-        if op == Op.READ:
-            transfer = nbytes / (self.read_bandwidth / self.channels)
-        elif op in (Op.WRITE, Op.ZONE_APPEND):
-            transfer = nbytes / (self.write_bandwidth / self.channels)
-        elif op == Op.FLUSH:
+        if op is Op.READ:
+            transfer = nbytes / self._read_rate
+        elif op is Op.WRITE or op is Op.ZONE_APPEND:
+            transfer = nbytes / self._write_rate
+        elif op is Op.FLUSH:
             transfer = self.flush_latency
-        elif op == Op.DISCARD:
+        elif op is Op.DISCARD:
             transfer = self.zone_mgmt_latency / 4
         else:  # zone management
             transfer = self.zone_mgmt_latency
@@ -79,9 +88,9 @@ class ServiceTimeModel:
 
     def pipeline_latency(self, op: Op) -> float:
         """Completion delay beyond channel occupancy (pipelined)."""
-        if op == Op.READ:
+        if op is Op.READ:
             return self.read_base_latency
-        if op in (Op.WRITE, Op.ZONE_APPEND):
+        if op is Op.WRITE or op is Op.ZONE_APPEND:
             return self.write_base_latency
         return 0.0
 

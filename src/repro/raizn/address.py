@@ -27,16 +27,14 @@ from .config import RaiznConfig
 
 @dataclasses.dataclass(frozen=True)
 class StripeLocation:
-    """Where one logical stripe lives across the array."""
+    """Where one logical stripe lives across the array.
 
-    zone: int            # logical zone index
-    stripe: int          # stripe index within the zone
+    The layout depends on ``(zone + stripe) mod num_devices`` only, so the
+    mapper shares one instance per rotation across all zones and stripes.
+    """
+
     parity_device: int   # device holding this stripe's parity SU
     data_devices: Tuple[int, ...]  # device of data SU 0..D-1, in order
-
-    @property
-    def index_in_zone(self) -> int:
-        return self.stripe
 
 
 class AddressMapper:
@@ -52,6 +50,15 @@ class AddressMapper:
         self.stripe_width = config.stripe_width_bytes
         self.zone_capacity = config.logical_zone_capacity(physical_zone_capacity)
         self.stripes_per_zone = config.stripes_per_zone(physical_zone_capacity)
+        # One StripeLocation per parity rotation; stripe_layout() is on the
+        # per-stripe-unit write path, so it must not allocate.
+        n = config.num_devices
+        self._layouts = tuple(
+            StripeLocation(
+                parity_device=(n - 1 - rotation) % n,
+                data_devices=tuple(((n - 1 - rotation) % n + 1 + i) % n
+                                   for i in range(config.num_data)))
+            for rotation in range(n))
 
     # -- logical geometry ----------------------------------------------------
 
@@ -74,14 +81,7 @@ class AddressMapper:
 
     def stripe_layout(self, zone: int, stripe: int) -> StripeLocation:
         """Device assignment for one stripe (left-symmetric rotation)."""
-        n = self.config.num_devices
-        rotation = (stripe + zone) % n
-        parity_device = (n - 1 - rotation) % n
-        data_devices = tuple((parity_device + 1 + i) % n
-                             for i in range(self.config.num_data))
-        return StripeLocation(zone=zone, stripe=stripe,
-                              parity_device=parity_device,
-                              data_devices=data_devices)
+        return self._layouts[(stripe + zone) % len(self._layouts)]
 
     def stripe_of(self, lba: int) -> StripeLocation:
         """The stripe containing ``lba``."""

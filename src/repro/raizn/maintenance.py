@@ -95,7 +95,9 @@ def rewrite_physical_zone(volume, device_index: int, zone: int,
     else:
         if resume_length:
             bio = yield device.submit(Bio.read(swap_start, resume_length))
-            content = bio.result
+            # Copy out of the media view: stage 2 resets the swap zone,
+            # which would zero the bytes a borrowed view points at.
+            content = bytes(bio.result)
         else:
             content = b""
 

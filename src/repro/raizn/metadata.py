@@ -60,13 +60,6 @@ class MetadataType(enum.IntEnum):
     OP_WAL = 6
 
 
-def _pad_to_sector(data: bytes) -> bytes:
-    remainder = len(data) % SECTOR_SIZE
-    if remainder:
-        return data + bytes(SECTOR_SIZE - remainder)
-    return data
-
-
 @dataclasses.dataclass
 class MetadataEntry:
     """One decoded (or to-be-encoded) metadata log entry."""
@@ -88,18 +81,28 @@ class MetadataEntry:
     @property
     def total_bytes(self) -> int:
         """On-disk footprint: header sector + sector-padded payload."""
-        return SECTOR_SIZE + len(_pad_to_sector(self.payload))
+        payload_len = len(self.payload)
+        return SECTOR_SIZE + -(-payload_len // SECTOR_SIZE) * SECTOR_SIZE
 
     def encode(self) -> bytes:
-        """Serialize to the on-disk byte layout."""
+        """Serialize to the on-disk byte layout.
+
+        ``payload`` may be any readable buffer (the write path hands over
+        memoryview slices of the caller's data); join() materializes it.
+        """
         type_field = int(self.mdtype)
         if self.checkpoint:
             type_field |= CHECKPOINT_FLAG
+        payload_len = len(self.payload)
         header = _HEADER.pack(MAGIC, type_field, self.start_lba, self.end_lba,
-                              self.generation, len(self.payload))
-        sector = header + self.inline
-        sector += bytes(SECTOR_SIZE - len(sector))
-        return sector + _pad_to_sector(self.payload)
+                              self.generation, payload_len)
+        pad = payload_len % SECTOR_SIZE
+        return b"".join((
+            header, self.inline,
+            bytes(SECTOR_SIZE - HEADER_BYTES - len(self.inline)),
+            self.payload,
+            bytes(SECTOR_SIZE - pad) if pad else b"",
+        ))
 
     @classmethod
     def decode(cls, buffer: bytes, offset: int = 0) -> Optional[Tuple["MetadataEntry", int]]:

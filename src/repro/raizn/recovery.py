@@ -324,8 +324,10 @@ class _Recovery:
         else:
             desc.state = ZoneState.CLOSED
         if desc.written_bytes:
-            desc.persistence.mark_up_to(
-                desc.su_index_of(desc.write_pointer - 1) + 1)
+            # Full SUs only: the recovered partial tail SU is durable now,
+            # but a post-mount write can extend it in the device cache and
+            # a set bit would go stale (see volume._finish_write_flushed).
+            desc.persistence.mark_up_to(desc.su_index_of(desc.write_pointer))
         yield from state.rebuild_tail_buffer(desc)
 
     def _all_full(self, zone: int) -> bool:
@@ -531,7 +533,9 @@ class _ZoneContent:
         zone_pba = self.zone * volume.phys_zone_size
         bio = yield volume.devices[device].submit(
             Bio.read(zone_pba + stripe * self.su, take))
-        return bio.result + bytes(length - take)
+        # join() materializes bytes whether the device returned bytes or a
+        # media view.
+        return b"".join((bio.result, bytes(length - take)))
 
     # Analysis -----------------------------------------------------------------
 
@@ -750,17 +754,30 @@ class _ZoneContent:
         zone_pba = self.zone * volume.phys_zone_size
         if parity_extent == self.su:
             # Full parity was persisted: XOR it with the other data SUs.
+            # A full parity SU is computed over a *completely* written
+            # stripe, so a sibling data SU shorter than the stripe unit
+            # means real bytes were lost to crash rollback — the zero
+            # padding ``_read_su_prefix`` applies past its extent does
+            # not match what went into the parity, and XOR results at
+            # those positions are garbage.  (§5.1's "treated as zeroes"
+            # rule covers only partial parity, which is computed over
+            # zero-padded buffers.)  Reconstruction is therefore exact
+            # only up to the shortest sibling extent; returning the
+            # shorter prefix makes ``_repair_stripe`` roll the zone back
+            # instead of patching corrupt bytes onto the device.
             acc = bytearray(self.su)
             bio = yield volume.devices[layout.parity_device].submit(
                 Bio.read(zone_pba + stripe * self.su, self.su))
             xor_into(acc, bio.result)
+            valid = self.su
             for j, other in enumerate(layout.data_devices):
                 if j == su_index:
                     continue
+                valid = min(valid, self._data_extent(stripe, j, other) or 0)
                 data = yield from self._read_su_prefix(stripe, j, other,
                                                        self.su)
                 xor_into(acc, data)
-            return bytes(acc)
+            return bytes(acc[:valid])
         return (yield from self._reconstruct_from_partial_parity(
             stripe, layout, su_index))
 

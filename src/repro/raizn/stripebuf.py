@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..errors import RaiznError
-from .parity import stripe_parity, xor_into
+from .parity import xor_into
 
 
 class StripeBuffer:
@@ -51,10 +53,9 @@ class StripeBuffer:
 
     def full_parity(self) -> bytes:
         """Parity SU over the (zero-padded) current contents."""
-        view = memoryview(self.data)
-        units = [view[i * self.su:(i + 1) * self.su]
-                 for i in range(self.num_data)]
-        return stripe_parity(units, self.su)
+        units = np.frombuffer(self.data, dtype=np.uint8).reshape(
+            self.num_data, self.su)
+        return np.bitwise_xor.reduce(units, axis=0).tobytes()
 
     def data_unit(self, su_index: int) -> bytes:
         """Contents of data SU ``su_index`` (zero-padded past the fill end)."""
@@ -72,6 +73,12 @@ class StripeBuffer:
         """
         if not chunk:
             raise RaiznError("empty chunk has no parity contribution")
+        in_su = offset % su
+        if in_su + len(chunk) <= su:
+            # The common case: the chunk sits inside one stripe unit, so
+            # its parity contribution is the chunk itself — no SU-sized
+            # accumulator to allocate and XOR against zeroes.
+            return in_su, bytes(chunk)
         acc = bytearray(su)
         lo, hi = su, 0
         position = 0

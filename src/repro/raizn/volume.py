@@ -50,6 +50,10 @@ from .relocation import RelocationStore
 from .stripebuf import StripeBuffer
 from .zonedesc import LogicalZoneDesc, PhysicalZoneDesc
 
+#: Plain-int FUA mask: the write fan-out tests sub-IO flags per piece,
+#: and ``IntFlag.__and__`` costs a dynamic class lookup per call.
+_FUA = int(BioFlags.FUA)
+
 SUPERBLOCK_VERSION = 1
 
 
@@ -158,15 +162,19 @@ class RaiznVolume:
 
     @classmethod
     def create(cls, sim: Simulator, devices: List[ZNSDevice],
-               config: Optional[RaiznConfig] = None) -> "RaiznVolume":
+               config: Optional[RaiznConfig] = None,
+               array_uuid: Optional[bytes] = None) -> "RaiznVolume":
         """Format ``devices`` into a fresh RAIZN array.
 
         Resets every zone, assigns device indices, and persists the
         superblock and initial generation counters to every device.
-        Drains the event loop before returning.
+        Drains the event loop before returning.  ``array_uuid`` may be
+        pinned for reproducible media contents (perf/determinism
+        harnesses); by default a random UUID is generated.
         """
         config = config or RaiznConfig(num_data=len(devices) - 1)
-        volume = cls(sim, list(devices), config, array_uuid=os.urandom(16))
+        volume = cls(sim, list(devices), config,
+                     array_uuid=array_uuid or os.urandom(16))
         sim.run_process(volume._format())
         return volume
 
@@ -186,8 +194,8 @@ class RaiznVolume:
                 zone_capacity=self.phys_zone_capacity,
                 num_metadata_zones=self.config.num_metadata_zones,
                 device_index=index, array_uuid=self.array_uuid)
-            events.append(self.sim.process(self.mdzones[index].append(
-                MetadataRole.GENERAL, superblock.to_entry(), fua=True)))
+            events.append(self.mdzones[index].append_async(
+                MetadataRole.GENERAL, superblock.to_entry(), fua=True))
         events.extend(self._persist_generation())
         yield self.sim.all_of(events)
 
@@ -196,7 +204,7 @@ class RaiznVolume:
     def submit(self, bio: Bio) -> Event:
         """Submit a logical bio; the event succeeds with the completed bio."""
         bio.submit_time = self.sim.now
-        done = self.sim.event()
+        done = Event(self.sim)
         try:
             self._dispatch(bio, done)
         except (RaiznError, DeviceError) as exc:
@@ -215,7 +223,8 @@ class RaiznVolume:
 
     def _dispatch(self, bio: Bio, done: Event) -> None:
         bio.check_alignment()
-        if bio.op in (Op.WRITE, Op.ZONE_APPEND):
+        op = bio.op
+        if op is Op.WRITE or op is Op.ZONE_APPEND:
             if self.read_only:
                 raise VolumeStateError("volume is read-only")
             zone = self.mapper.zone_of(bio.offset)
@@ -224,19 +233,19 @@ class RaiznVolume:
                 self._reset_pending.setdefault(zone, []).append((bio, done))
                 return
             self._start_write(bio, done)
-        elif bio.op == Op.READ:
+        elif op is Op.READ:
             self._start_read(bio, done)
-        elif bio.op == Op.FLUSH:
-            self.sim.process(self._run_flush(bio, done))
-        elif bio.op == Op.ZONE_RESET:
+        elif op is Op.FLUSH:
+            self.sim.schedule(0.0, self._run_flush, bio, done)
+        elif op is Op.ZONE_RESET:
             if self.read_only:
                 raise VolumeStateError("volume is read-only")
             self._start_reset(bio, done)
-        elif bio.op == Op.ZONE_FINISH:
+        elif op is Op.ZONE_FINISH:
             self.sim.process(self._run_finish(bio, done))
-        elif bio.op == Op.ZONE_OPEN:
+        elif op is Op.ZONE_OPEN:
             self.sim.process(self._run_open_close(bio, done, explicit_open=True))
-        elif bio.op == Op.ZONE_CLOSE:
+        elif op is Op.ZONE_CLOSE:
             self.sim.process(self._run_open_close(bio, done, explicit_open=False))
         else:
             raise ZoneStateError(f"unsupported logical op: {bio.op}")
@@ -270,8 +279,8 @@ class RaiznVolume:
             counters = self.generation[first:first + GENERATION_BLOCK_COUNTERS]
             for index in self._alive_devices():
                 entry = encode_generation_block(first, list(counters))
-                events.append(self.sim.process(self.mdzones[index].append(
-                    MetadataRole.GENERAL, entry, fua=fua)))
+                events.append(self.mdzones[index].append_async(
+                    MetadataRole.GENERAL, entry, fua=fua))
         return events
 
     def _checkpoint(self, role: MetadataRole,
@@ -361,15 +370,20 @@ class RaiznVolume:
             raise InvalidAddressError("write past logical zone capacity")
         self._open_logical_zone(desc)
         desc.write_pointer = bio.end_offset
-        desc.last_write_time = self.sim.now  # type: ignore[attr-defined]
+        desc.last_write_time = self.sim.now
         if desc.write_pointer == desc.writable_end:
             self._set_logical_state(desc, ZoneState.FULL)
 
         sub_events: List[Event] = []
         fua_devices: Set[int] = set()
-        sub_flags = BioFlags.FUA if bio.is_fua else BioFlags.NONE
+        # Plain int (0 or FUA): tested per fan-out piece below, and Bio
+        # stores flags as an int anyway.
+        sub_flags = bio.flags & _FUA
         offset = bio.offset
-        data = bio.data or b""
+        # Fan out through a memoryview so every per-stripe chunk and
+        # per-device piece below is a zero-copy slice of the caller's
+        # payload; devices copy exactly once, into their media.
+        data = memoryview(bio.data) if bio.data else memoryview(b"")
         position = 0
         while position < len(data):
             lba = offset + position
@@ -384,12 +398,16 @@ class RaiznVolume:
             position += take
 
         self.stats.account(bio)
-        self.sim.process(self._finish_write(bio, done, desc, sub_events,
-                                            fua_devices))
+        # Completion runs as a callback chain rather than a generator
+        # process (one fewer allocation and several fewer scheduler
+        # round-trips per logical write); the 0-delay hop stands in for
+        # the process start so event ordering is unchanged.
+        self.sim.schedule(0.0, self._finish_write, bio, done, desc,
+                          sub_events, fua_devices)
 
     def _write_stripe_segment(self, desc: LogicalZoneDesc, stripe: int,
                               in_stripe: int, chunk: bytes,
-                              sub_flags: BioFlags, sub_events: List[Event],
+                              sub_flags: int, sub_events: List[Event],
                               fua_devices: Set[int]) -> None:
         zone = desc.zone
         buffer = desc.buffers.acquire(stripe)
@@ -423,32 +441,41 @@ class RaiznVolume:
             desc.buffers.release(stripe)
         else:
             self._emit_partial_parity(desc, stripe, layout, in_stripe, chunk,
-                                      bool(sub_flags & BioFlags.FUA),
-                                      sub_events)
+                                      bool(sub_flags), sub_events)
 
     def _emit_data_piece(self, desc: LogicalZoneDesc, device: int, pba: int,
-                         lba: int, piece: bytes, sub_flags: BioFlags,
+                         lba: int, piece: bytes, sub_flags: int,
                          sub_events: List[Event],
                          fua_devices: Set[int]) -> None:
         zone = desc.zone
         if not self._device_available(device, zone):
             return  # degraded write: the missing SU is omitted (§4.2)
         pdesc = self.phys[device][zone]
-        if pdesc.write_pointer != pba:
+        if pdesc.write_pointer != pba or (
+                desc.has_relocations and
+                self.relocations.lookup(
+                    lba - (lba % self.config.stripe_unit_bytes)) is not None):
             # Conflicting stripe unit (§5.2): either stale persisted data
             # occupies this PBA (pointer ahead) or a stale gap sits below
             # it (pointer behind, mid-stale-SU after a rollback); both
-            # redirect to the metadata zone.
-            self._relocate_write(desc, device, lba, piece, sub_events)
+            # redirect to the metadata zone.  An SU whose relocation unit
+            # is already armed always stays in the log even when the stale
+            # write pointer happens to line up with this piece's PBA —
+            # writing in place would split the SU between a garbage-
+            # prefixed device zone and the log, and recovery could not
+            # tell the stale prefix from real bytes.
+            self._relocate_write(desc, device, lba, piece, bool(sub_flags),
+                                 sub_events)
             return
         pdesc.write_pointer = pba + len(piece)
         sub_events.append(self.devices[device].submit(
             Bio.write(pba, piece, sub_flags)))
-        if sub_flags & BioFlags.FUA:
+        if sub_flags:
             fua_devices.add(device)
 
     def _relocate_write(self, desc: LogicalZoneDesc, device: int, lba: int,
-                        piece: bytes, sub_events: List[Event]) -> None:
+                        piece: bytes, fua: bool,
+                        sub_events: List[Event]) -> None:
         su = self.config.stripe_unit_bytes
         su_lba = lba - (lba % su)
         unit = self.relocations.unit_for(su_lba, device,
@@ -456,12 +483,18 @@ class RaiznVolume:
         unit.write(lba, piece)
         desc.has_relocations = True
         entry = encode_relocated_su(lba, piece, self.generation[desc.zone])
-        sub_events.append(self.sim.process(
-            self.mdzones[device].append(MetadataRole.GENERAL, entry)))
+        # A FUA write must be durable before it is acknowledged; when the
+        # piece is redirected into the metadata log, the log append has to
+        # carry the FUA flag — ``_flush_unpersisted`` only covers SUs from
+        # *earlier* writes, so nothing else persists this entry before the
+        # ack and a crash could cut it from the log tail.
+        sub_events.append(
+            self.mdzones[device].append_async(MetadataRole.GENERAL, entry,
+                                              fua=fua))
 
     def _emit_full_parity(self, desc: LogicalZoneDesc, stripe: int, layout,
                           buffer: StripeBuffer, in_stripe: int, chunk: bytes,
-                          sub_flags: BioFlags, sub_events: List[Event],
+                          sub_flags: int, sub_events: List[Event],
                           fua_devices: Set[int]) -> None:
         device = layout.parity_device
         if not self._device_available(device, desc.zone):
@@ -477,13 +510,12 @@ class RaiznVolume:
             # XOR of all the stripe's deltas equals the full parity.
             self.relocated_parity[(desc.zone, stripe)] = parity
             self._emit_partial_parity(desc, stripe, layout, in_stripe,
-                                      chunk, bool(sub_flags & BioFlags.FUA),
-                                      sub_events)
+                                      chunk, bool(sub_flags), sub_events)
             return
         pdesc.write_pointer = pba + len(parity)
         sub_events.append(self.devices[device].submit(
             Bio.write(pba, parity, sub_flags)))
-        if sub_flags & BioFlags.FUA:
+        if sub_flags:
             fua_devices.add(device)
 
     def _emit_partial_parity(self, desc: LogicalZoneDesc, stripe: int,
@@ -498,21 +530,46 @@ class RaiznVolume:
         entry = encode_partial_parity(
             stripe_lba + in_stripe, stripe_lba + in_stripe + len(chunk),
             self.generation[desc.zone], offset, delta)
-        sub_events.append(self.sim.process(self.mdzones[device].append(
-            MetadataRole.PARTIAL_PARITY, entry, fua=fua)))
+        sub_events.append(self.mdzones[device].append_async(
+            MetadataRole.PARTIAL_PARITY, entry, fua=fua))
 
     def _finish_write(self, bio: Bio, done: Event, desc: LogicalZoneDesc,
-                      sub_events: List[Event], fua_devices: Set[int]):
-        try:
-            yield self.sim.all_of(sub_events)
-            if bio.is_fua or bio.is_preflush:
-                yield self.sim.all_of(
-                    self._flush_unpersisted(desc, bio, fua_devices))
-                end_su = desc.su_index_of(bio.end_offset - 1) + 1
-                desc.persistence.mark_up_to(end_su)
-        except DeviceError as exc:
-            done.fail(exc)
+                      sub_events: List[Event], fua_devices: Set[int]) -> None:
+        gather = self.sim.gather(sub_events)
+        gather.add_callback(
+            lambda ev: self._finish_write_gathered(ev, bio, done, desc,
+                                                   fua_devices))
+
+    def _finish_write_gathered(self, gather: Event, bio: Bio, done: Event,
+                               desc: LogicalZoneDesc,
+                               fua_devices: Set[int]) -> None:
+        if not gather.ok:
+            if isinstance(gather.value, DeviceError):
+                done.fail(gather.value)
+                return
+            raise gather.value
+        if bio.is_fua or bio.is_preflush:
+            flushes = self.sim.gather(
+                self._flush_unpersisted(desc, bio, fua_devices))
+            flushes.add_callback(
+                lambda ev: self._finish_write_flushed(ev, bio, done, desc))
             return
+        bio.complete_time = self.sim.now
+        done.succeed(bio)
+
+    def _finish_write_flushed(self, flushes: Event, bio: Bio, done: Event,
+                              desc: LogicalZoneDesc) -> None:
+        if not flushes.ok:
+            if isinstance(flushes.value, DeviceError):
+                done.fail(flushes.value)
+                return
+            raise flushes.value
+        # Only stripe units *fully* below the durable point may be marked.
+        # A partial tail SU is durable right now, but a later plain write
+        # can extend it in the device cache — a set bit would then be
+        # stale, the next FUA would skip flushing that device, and a crash
+        # could lose acknowledged data.
+        desc.persistence.mark_up_to(desc.su_index_of(bio.end_offset))
         bio.complete_time = self.sim.now
         done.succeed(bio)
 
@@ -571,7 +628,7 @@ class RaiznVolume:
                     chunks[index] = chunk
                 lba += length
             if events:
-                yield self.sim.all_of(events)
+                yield self.sim.gather(events)
         except (DeviceError, RaiznError) as exc:
             done.fail(exc)
             return
@@ -651,7 +708,7 @@ class RaiznVolume:
             gap_events.append(event)
         if not gap_events:
             return bytes(container)
-        gather = self.sim.all_of(gap_events)
+        gather = self.sim.gather(gap_events)
 
         def on_all(ev: Event) -> None:
             if ev.ok:
@@ -718,7 +775,7 @@ class RaiznVolume:
                     xor_into(acc, ev.value.result)
             event.add_callback(fold)
             sources.append(event)
-        gather = self.sim.all_of(sources)
+        gather = self.sim.gather(sources)
 
         def on_sources(event: Event) -> None:
             if event.ok:
@@ -729,20 +786,27 @@ class RaiznVolume:
 
     # ------------------------------------------------------------------ flush
 
-    def _run_flush(self, bio: Bio, done: Event):
+    def _run_flush(self, bio: Bio, done: Event) -> None:
         """REQ_OP_FLUSH: duplicated to each array device (§5.3)."""
-        try:
-            yield self.sim.all_of([
-                self.devices[d].submit(Bio.flush())
-                for d in self._alive_devices()])
-        except DeviceError as exc:
-            done.fail(exc)
-            return
+        gather = self.sim.gather([
+            self.devices[d].submit(Bio.flush())
+            for d in self._alive_devices()])
+        gather.add_callback(lambda ev: self._flush_gathered(ev, bio, done))
+
+    def _flush_gathered(self, gather: Event, bio: Bio, done: Event) -> None:
+        if not gather.ok:
+            if isinstance(gather.value, DeviceError):
+                done.fail(gather.value)
+                return
+            raise gather.value
         for desc in self.zone_descs:
             if desc.state.is_active or desc.state is ZoneState.FULL:
                 if desc.written_bytes:
+                    # Full SUs only: a partial tail SU can be extended by
+                    # a later write, which would make its bit stale (see
+                    # _finish_write_flushed).
                     desc.persistence.mark_up_to(
-                        desc.su_index_of(desc.write_pointer - 1) + 1)
+                        desc.su_index_of(desc.write_pointer))
         self.stats.account(bio)
         bio.complete_time = self.sim.now
         done.succeed(bio)
@@ -777,9 +841,8 @@ class RaiznVolume:
                 if self._device_available(device, zone):
                     entry = encode_zone_reset(zone, desc.reset_pointer or 0,
                                               self.generation[zone])
-                    wal_events.append(self.sim.process(
-                        self.mdzones[device].append(
-                            MetadataRole.GENERAL, entry, fua=True)))
+                    wal_events.append(self.mdzones[device].append_async(
+                        MetadataRole.GENERAL, entry, fua=True))
             yield self.sim.all_of(wal_events)
             # Reset every physical zone in the logical zone.
             reset_events = []
@@ -792,9 +855,13 @@ class RaiznVolume:
             yield self.sim.all_of(reset_events)
             # Bump and persist the generation counter, invalidating every
             # metadata log entry that referenced the old zone contents.
+            # The persist must be FUA: if the new counter were lost in a
+            # crash, the (FUA'd) reset WAL entry would still match the old
+            # generation and recovery would replay the reset — discarding
+            # any acknowledged post-reset writes.
             self.generation[zone] += 1
             self._check_generation_overflow(zone)
-            gen_events = self._persist_generation()
+            gen_events = self._persist_generation(fua=True)
             self._set_logical_state(desc, ZoneState.EMPTY)
             self.relocations.drop_zone(desc.start_lba, desc.capacity)
             self.relocations.rebuild_counters(
@@ -918,8 +985,7 @@ class RaiznVolume:
         if not candidates:
             raise ZoneStateError(
                 f"logical open zone limit {self.max_open_logical} reached")
-        victim = min(candidates,
-                     key=lambda d: getattr(d, "last_write_time", 0.0))
+        victim = min(candidates, key=lambda d: d.last_write_time)
         for device in self._alive_devices():
             self.devices[device].submit(
                 Bio.zone_close(victim.zone * self.phys_zone_size))

@@ -22,11 +22,23 @@ Example::
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
 
 ProcessGenerator = Generator["Event", Any, Any]
+
+
+def _dispatch(event: "Event",
+              callbacks: List[Callable[["Event"], None]]) -> None:
+    """Run a triggered event's callbacks (queued as one now-queue entry)."""
+    for fn in callbacks:
+        fn(event)
+
+
+def _raise_unhandled(exc: BaseException) -> None:
+    raise exc
 
 
 class Event:
@@ -41,38 +53,53 @@ class Event:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        # The callback list is created lazily on first registration: many
+        # short-lived events (uncontended resource grants in particular)
+        # trigger without ever acquiring a waiter.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = None
         self.triggered = False
         self.ok = True
         self.value: Any = None
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully, delivering ``value`` to waiters."""
-        self._trigger(True, value)
+        if self.triggered:
+            raise SimulationError(f"{self!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = None
+            self.sim._now_queue.append((_dispatch, (self, callbacks)))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event with an exception, raised inside waiters."""
         if not isinstance(exc, BaseException):
             raise TypeError(f"fail() requires an exception, got {exc!r}")
-        self._trigger(False, exc)
-        return self
-
-    def _trigger(self, ok: bool, value: Any) -> None:
         if self.triggered:
             raise SimulationError(f"{self!r} triggered twice")
         self.triggered = True
-        self.ok = ok
-        self.value = value
-        self.sim._queue_callbacks(self)
+        self.ok = False
+        self.value = exc
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = None
+            self.sim._now_queue.append((_dispatch, (self, callbacks)))
+        elif isinstance(self, Process):
+            # A failed process nobody waits on: surface the error instead
+            # of silently swallowing it.
+            self.sim._now_queue.append((_raise_unhandled, (exc,)))
+        return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run ``fn(event)`` when the event triggers (immediately if it has)."""
-        if self.triggered and self.callbacks is None:
-            # Already dispatched: run at the current time via the queue.
-            self.sim.schedule(0.0, lambda: fn(self))
+        if self.triggered:
+            # Already dispatched: run at the current time via the now-queue.
+            self.sim._now_queue.append((fn, (self,)))
+        elif self.callbacks is None:
+            self.callbacks = [fn]
         else:
-            assert self.callbacks is not None
             self.callbacks.append(fn)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -112,28 +139,65 @@ class Process(Event):
         sim.schedule(0.0, self._resume, None, None)
 
     def _resume(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
-        try:
-            if throw_exc is not None:
-                target = self._gen.throw(throw_exc)
+        # Trampoline: advance the generator in a loop instead of recursing,
+        # so error paths and chains of waits never grow the Python stack.
+        # A yielded event that has already triggered (e.g. an uncontended
+        # ``Resource.request()``) hands the continuation straight to the
+        # FIFO now-queue — one deque hop, no heap push/pop, no recursion.
+        # Deliberately NOT consumed inline: inlining would run this process
+        # ahead of callbacks queued before it (including siblings in the
+        # same dispatch batch), breaking the engine's FIFO ordering and
+        # with it byte-identical fixed-seed replay.
+        gen = self._gen
+        while True:
+            try:
+                if throw_exc is not None:
+                    target = gen.throw(throw_exc)
+                else:
+                    target = gen.send(send_value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - process failure path
+                self.fail(exc)
+                return
+            if not isinstance(target, Event):
+                send_value = None
+                throw_exc = SimulationError(
+                    f"process yielded {target!r}; processes must yield Events")
+                continue
+            if target.triggered:
+                self.sim._now_queue.append((self._on_wait_done, (target,)))
+            elif target.callbacks is None:
+                target.callbacks = [self._on_wait_done]
             else:
-                target = self._gen.send(send_value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
+                target.callbacks.append(self._on_wait_done)
             return
-        except BaseException as exc:  # noqa: BLE001 - process failure path
-            self.fail(exc)
-            return
-        if not isinstance(target, Event):
-            self._resume(None, SimulationError(
-                f"process yielded {target!r}; processes must yield Events"))
-            return
-        target.add_callback(self._on_wait_done)
 
     def _on_wait_done(self, event: Event) -> None:
         if event.ok:
             self._resume(event.value, None)
         else:
             self._resume(None, event.value)
+
+
+class InlineProcess(Process):
+    """A process whose first step runs immediately, in the caller's frame.
+
+    ``Process`` defers its first step through the now-queue so that starting
+    a process never reorders work already queued.  Callback-style fast paths
+    that fall back to generator code for a rare slow path (e.g. metadata
+    zone rotation) have already consumed that start hop themselves; using a
+    plain ``Process`` for the fallback would insert an extra hop and change
+    event ordering relative to the all-generator implementation.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator):
+        Event.__init__(self, sim)
+        self._gen = gen
+        self._resume(None, None)
 
 
 class AllOf(Event):
@@ -172,10 +236,44 @@ class AllOf(Event):
         return on_child
 
 
+class Gather(Event):
+    """Triggers when every child has triggered; child values are discarded.
+
+    A leaner :class:`AllOf` for join points that only care about
+    completion (the RAIZN write path joins its sub-IOs this way): one
+    shared callback instead of a closure per child, and no values list.
+    Fails as soon as any child fails.  The hop structure is identical to
+    ``AllOf``, so swapping one for the other never reorders events.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        if not events:
+            sim.schedule(0.0, self.succeed, None)
+            return
+        callback = self._on_child
+        for event in events:
+            event.add_callback(callback)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return  # a sibling already failed this gather
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(None)
+
+
 class AnyOf(Event):
     """Triggers when the first child event triggers; value is that child's."""
 
-    __slots__ = ("_done",)
+    __slots__ = ("_done", "_children", "_callback")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -183,13 +281,28 @@ class AnyOf(Event):
         events = list(events)
         if not events:
             raise SimulationError("AnyOf requires at least one event")
+        self._children = events
+        # One bound method shared by every child so the winner can detach it
+        # from the losers by identity.
+        self._callback = self._on_child
         for event in events:
-            event.add_callback(self._on_child)
+            event.add_callback(self._callback)
 
     def _on_child(self, event: Event) -> None:
         if self._done:
+            # A child that triggered in the same dispatch batch as the
+            # winner: nothing to do and nothing to allocate.
             return
         self._done = True
+        # Detach from the losing children so they stop referencing this
+        # AnyOf (and never call back into it when they eventually trigger).
+        for child in self._children:
+            if child is not event and child.callbacks is not None:
+                try:
+                    child.callbacks.remove(self._callback)
+                except ValueError:
+                    pass
+        self._children = []
         if event.ok:
             self.succeed(event.value)
         else:
@@ -197,39 +310,33 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: a time-ordered heap of pending callbacks."""
+    """The event loop: a FIFO "now queue" plus a time-ordered heap.
+
+    Zero-delay work — event dispatch, process starts, immediate
+    continuations — goes on the now-queue, a plain deque drained in FIFO
+    order before the clock is allowed to advance.  Only real timeouts pay
+    for the heap.  See DESIGN.md ("Now-queue scheduling") for why this
+    preserves the submission-order semantics the RAIZN write path relies
+    on.
+    """
 
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: List = []
+        self._now_queue: Deque[Tuple[Callable, tuple]] = deque()
         self._seq = 0
 
     # -- low-level scheduling ------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay == 0.0:
+            self._now_queue.append((fn, args))
+            return
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
-
-    def _queue_callbacks(self, event: Event) -> None:
-        callbacks, event.callbacks = event.callbacks, None
-        if callbacks:
-            self.schedule(0.0, self._dispatch, event, callbacks)
-        elif not event.ok and isinstance(event, Process):
-            # A failed process nobody waits on: surface the error instead of
-            # silently swallowing it.
-            self.schedule(0.0, self._raise_unhandled, event.value)
-
-    @staticmethod
-    def _raise_unhandled(exc: BaseException) -> None:
-        raise exc
-
-    @staticmethod
-    def _dispatch(event: Event, callbacks: List[Callable[[Event], None]]) -> None:
-        for fn in callbacks:
-            fn(event)
 
     # -- event factories -----------------------------------------------------
 
@@ -249,6 +356,10 @@ class Simulator:
         """An event triggering when all of ``events`` have succeeded."""
         return AllOf(self, events)
 
+    def gather(self, events: Iterable[Event]) -> Gather:
+        """Like :meth:`all_of` but discards child values (cheaper)."""
+        return Gather(self, events)
+
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """An event triggering when the first of ``events`` triggers."""
         return AnyOf(self, events)
@@ -262,12 +373,20 @@ class Simulator:
         programming errors inside simulated processes are never silently
         swallowed.
         """
-        while self._heap:
-            at, _seq, fn, args = self._heap[0]
-            if until is not None and at > until:
+        nowq = self._now_queue
+        heap = self._heap
+        pop = heapq.heappop
+        while True:
+            # Drain everything due *now* before letting the clock move.
+            while nowq:
+                fn, args = nowq.popleft()
+                fn(*args)
+            if not heap:
+                break
+            if until is not None and heap[0][0] > until:
                 self.now = until
                 return
-            heapq.heappop(self._heap)
+            at, _seq, fn, args = pop(heap)
             if at < self.now - 1e-12:
                 raise SimulationError("event heap went backwards in time")
             self.now = at

@@ -40,7 +40,9 @@ class Resource:
         event = self.sim.event()
         if self.in_use < self.capacity:
             self.in_use += 1
-            event.succeed()
+            # Inline succeed: the event is brand new, so it cannot have
+            # callbacks yet and there is nothing to dispatch.
+            event.triggered = True
         else:
             self._waiters.append(event)
         return event
@@ -87,7 +89,9 @@ class Queue:
         """An event that succeeds with the next item (FIFO order)."""
         event = self.sim.event()
         if self._items:
-            event.succeed(self._items.popleft())
+            # Inline succeed: brand-new event, nothing to dispatch.
+            event.triggered = True
+            event.value = self._items.popleft()
         else:
             self._getters.append(event)
         return event

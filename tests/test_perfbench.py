@@ -1,0 +1,45 @@
+"""The perf harness itself: fixed-seed determinism and recorded results.
+
+The datapath optimizations (zero-delay event lane, zero-copy media,
+cached stripe layouts) are only admissible if they keep fixed-seed runs
+byte-identical; these tests pin that property at the harness level.
+"""
+
+import json
+import pathlib
+
+from repro.harness.perfbench import (WRITE_PATH_SCENARIOS,
+                                     run_datapath_bench)
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDeterminism:
+    def test_same_seed_runs_are_identical(self):
+        first = run_datapath_bench(fast=True)
+        second = run_datapath_bench(fast=True)
+        assert first.digest == second.digest
+        for a, b in zip(first.scenarios, second.scenarios):
+            assert a.name == b.name
+            # Simulated clock, IO volume, and the media/stats digest all
+            # replay exactly; only wall time may differ.
+            assert a.sim_seconds == b.sim_seconds
+            assert a.simulated_bytes == b.simulated_bytes
+            assert a.digest == b.digest
+
+    def test_different_seed_changes_the_digest(self):
+        base = run_datapath_bench(fast=True, only=["seq_write"])
+        other = run_datapath_bench(fast=True, only=["seq_write"], seed=99)
+        assert base.digest != other.digest
+
+
+class TestRecordedResults:
+    def test_bench_file_records_baseline_and_current(self):
+        recorded = json.loads(
+            (_REPO_ROOT / "BENCH_datapath.json").read_text())
+        macro = recorded["write_path_macro"]
+        assert macro["baseline_mib_per_wall_second"] > 0
+        assert macro["current_mib_per_wall_second"] > 0
+        assert macro["speedup"] >= 2.0
+        names = {s["name"] for s in recorded["current"]["scenarios"]}
+        assert set(WRITE_PATH_SCENARIOS) <= names

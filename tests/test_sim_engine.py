@@ -246,3 +246,76 @@ class TestLockAndQueue:
         queue.put(1)
         queue.put(2)
         assert len(queue) == 2
+
+
+class TestNowQueue:
+    """FIFO semantics of the zero-delay lane (see DESIGN.md)."""
+
+    def test_zero_delay_preserves_fifo_order(self, sim):
+        order = []
+        for tag in "abc":
+            sim.schedule(0.0, order.append, tag)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_nested_zero_delay_runs_after_queued_work(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.0, order.append, "nested")
+
+        sim.schedule(0.0, first)
+        sim.schedule(0.0, order.append, "second")
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_zero_delay_drains_before_clock_advances(self, sim):
+        order = []
+
+        def at_one(_event):
+            order.append(("heap", sim.now))
+            sim.schedule(0.0, lambda: order.append(("zero", sim.now)))
+
+        sim.timeout(1.0).add_callback(at_one)
+        sim.timeout(2.0).add_callback(
+            lambda e: order.append(("later", sim.now)))
+        sim.run()
+        assert order == [("heap", 1.0), ("zero", 1.0), ("later", 2.0)]
+
+    def test_equal_time_heap_entries_keep_order_with_continuations(self, sim):
+        order = []
+        for tag in "ab":
+            sim.timeout(1.0, tag).add_callback(
+                lambda e: sim.schedule(0.0, order.append, e.value))
+        sim.run()
+        assert order == ["a", "b"]
+
+
+class TestAnyOfDetach:
+    def test_loser_is_detached_from_winner(self, sim):
+        winner, loser = sim.event(), sim.event()
+        first = sim.any_of([winner, loser])
+        winner.succeed("w")
+        sim.run()
+        assert first.ok and first.value == "w"
+        # The losing child no longer references the AnyOf: no leak while
+        # the loser stays pending, and no callback when it triggers later.
+        assert not loser.callbacks
+
+    def test_late_loser_does_not_retrigger(self, sim):
+        winner, loser = sim.event(), sim.event()
+        first = sim.any_of([winner, loser])
+        winner.succeed("w")
+        sim.run()
+        loser.succeed("l")
+        sim.run()
+        assert first.value == "w"
+
+    def test_same_batch_children_are_harmless(self, sim):
+        a, b = sim.event(), sim.event()
+        first = sim.any_of([a, b])
+        a.succeed(1)
+        b.succeed(2)
+        sim.run()
+        assert first.value == 1

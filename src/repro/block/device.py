@@ -77,6 +77,13 @@ class BlockDevice:
         #: Optional fault-injection hook: called as ``hook(device, bio)``
         #: before each command is applied (see :mod:`repro.faults`).
         self.pre_apply_hook = None
+        #: Optional hook called as ``hook(device, bio)`` right after a
+        #: command's completion event fires.  The bio counts as acked —
+        #: ``done.succeed`` only queues waiter callbacks — so cutting power
+        #: inside the hook models a crash where completions 1..k were
+        #: delivered and nothing after; the crash-point explorer uses this
+        #: to snapshot array state at every completion boundary.
+        self.completion_hook = None
 
     # -- the public IO interface ----------------------------------------------
 
@@ -180,6 +187,8 @@ class BlockDevice:
         self.stats.account(bio)
         bio.complete_time = self.sim.now
         done.succeed(bio)
+        if self.completion_hook is not None:
+            self.completion_hook(self, bio)
 
     # -- fault injection ---------------------------------------------------------
 

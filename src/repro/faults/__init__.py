@@ -1,6 +1,22 @@
 """Fault injection: power loss, crash points, device failures."""
 
+from .crashpoints import (
+    CompletionBoundaries,
+    apply_survivor_assignment,
+    array_crash_snapshot,
+    array_restore_crash_snapshot,
+    array_state_fingerprint,
+    enumerate_survivor_assignments,
+    survivor_product_size,
+)
 from .devicefail import fail_and_rebuild, fresh_replacement, wear_out_zone
+from .oracle import (
+    WorkloadExpectation,
+    ZoneExpectation,
+    check_mount_stability,
+    check_persistence_bitmap_soundness,
+    check_recovered_volume,
+)
 from .powerloss import (
     CrashPoint,
     crash_during,
@@ -14,6 +30,18 @@ __all__ = [
     "fail_and_rebuild",
     "fresh_replacement",
     "wear_out_zone",
+    "CompletionBoundaries",
+    "apply_survivor_assignment",
+    "array_crash_snapshot",
+    "array_restore_crash_snapshot",
+    "array_state_fingerprint",
+    "enumerate_survivor_assignments",
+    "survivor_product_size",
+    "WorkloadExpectation",
+    "ZoneExpectation",
+    "check_mount_stability",
+    "check_persistence_bitmap_soundness",
+    "check_recovered_volume",
     "CrashPoint",
     "crash_during",
     "power_cycle",

@@ -1,0 +1,390 @@
+"""Deterministic crash-state explorer for the RAIZN recovery path.
+
+Replaces "run a workload, randomly settle the write caches, hope the bad
+interleaving shows up" with systematic coverage in the style of
+crash-state enumerators like Silhouette (FAST '25):
+
+1. **Trace** — run a scripted, fully deterministic write/flush/reset
+   workload against a freshly formatted array and count every device-level
+   bio completion.  Completion boundaries are the instants at which the
+   acknowledged-IO set changes, so they index every distinct crash moment
+   the workload can distinguish.
+
+2. **Snapshot** — replay the identical workload, capturing a full device
+   snapshot (zone tables + written media) plus a frozen copy of the
+   workload's durability expectations at a spread of sampled boundaries.
+   Nothing is perturbed: snapshots are pure copies.
+
+3. **Enumerate** — for each sampled boundary, enumerate legal survivor
+   states (per-zone durable-prefix choices at atomic-write-unit
+   granularity), always including the all-min and all-max corners, and
+   sample the cross-zone product under a budget.  Each chosen state is
+   applied with ``power_fail_to`` — an exact, replayable crash.
+
+4. **Check** — mount each crash state and run the durability oracle:
+   FLUSH/FUA-acked bytes intact and content-exact, write pointers inside
+   legal bounds, persistence bitmaps sound, remount idempotent.  A
+   fraction of states additionally get a *second* crash injected part-way
+   through recovery itself; the array must recover from that too.
+
+Run via ``python -m repro crashtest`` or ``python -m repro.harness.cli
+crashtest``; emits a JSON coverage report.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..block.bio import Bio, BioFlags
+from ..errors import PowerLossError, ReproError
+from ..faults.crashpoints import (
+    CompletionBoundaries,
+    apply_survivor_assignment,
+    array_restore_crash_snapshot,
+    array_state_fingerprint,
+    enumerate_survivor_assignments,
+)
+from ..faults.oracle import (
+    WorkloadExpectation,
+    check_mount_stability,
+    check_persistence_bitmap_soundness,
+    check_recovered_volume,
+)
+from ..faults.powerloss import CrashPoint
+from ..raizn.config import RaiznConfig
+from ..raizn.recovery import mount
+from ..raizn.volume import RaiznVolume
+from ..sim import Simulator
+from ..units import KiB, MiB
+from ..zns.device import ZNSDevice
+
+#: Array geometry: small enough that a single crash state mounts in
+#: milliseconds, rich enough for multi-zone / metadata-GC interleavings.
+NUM_DEVICES = 5
+NUM_ZONES = 12
+ZONE_CAPACITY = 1 * MiB
+STRIPE_UNIT = 64 * KiB
+#: The workload touches this many logical zones.
+WORKLOAD_ZONES = 3
+#: Fixed array UUID so every replay produces byte-identical media.
+ARRAY_UUID = bytes(range(16))
+
+_WRITE_SIZES = (4 * KiB, 12 * KiB, 64 * KiB, 128 * KiB, 192 * KiB,
+                256 * KiB)
+
+
+class ScriptedWorkload:
+    """A pre-generated, replayable op sequence with known expectations.
+
+    Ops are fixed at construction — sizes, payloads, flags, and target
+    LBAs are all derived from ``seed`` — so the trace pass, the snapshot
+    pass, and any debugging rerun execute the exact same submissions.
+    """
+
+    def __init__(self, seed: int, num_ops: int,
+                 zone_capacity: int, num_zones: int = WORKLOAD_ZONES):
+        self.seed = seed
+        self.num_zones = num_zones
+        self.zone_capacity = zone_capacity
+        rng = random.Random(seed)
+        #: (kind, zone, lba, data, flags) tuples; lba/data are None for
+        #: non-write ops.
+        self.ops: List[Tuple[str, int, Optional[int], Optional[bytes],
+                             BioFlags]] = []
+        frontier = [0] * num_zones
+        for index in range(num_ops):
+            zone = rng.randrange(num_zones)
+            roll = rng.random()
+            if roll < 0.12:
+                self.ops.append(("flush", 0, None, None, BioFlags.NONE))
+                continue
+            if roll < 0.18 and frontier[zone] > 0:
+                self.ops.append(("reset", zone, None, None, BioFlags.NONE))
+                frontier[zone] = 0
+                continue
+            nbytes = rng.choice(_WRITE_SIZES)
+            if frontier[zone] + nbytes > zone_capacity:
+                # The zone is nearly full; recycle it instead (scripted,
+                # so every replay makes the same choice).
+                self.ops.append(("reset", zone, None, None, BioFlags.NONE))
+                frontier[zone] = 0
+            flag_roll = rng.random()
+            if flag_roll < 0.15:
+                flags = BioFlags.FUA | BioFlags.PREFLUSH
+            elif flag_roll < 0.30:
+                flags = BioFlags.FUA
+            else:
+                flags = BioFlags.NONE
+            data = random.Random(seed * 1000003 + index).randbytes(nbytes)
+            lba = zone * zone_capacity + frontier[zone]
+            self.ops.append(("write", zone, lba, data, flags))
+            frontier[zone] += nbytes
+
+    def run(self, volume: RaiznVolume, expect: WorkloadExpectation):
+        """Process-style driver; updates ``expect`` at submit/ack time."""
+        for kind, zone, lba, data, flags in self.ops:
+            if kind == "write":
+                expect.note_submit_write(zone, data)
+                yield volume.submit(Bio.write(lba, data, flags))
+                expect.note_write_acked(zone, fua=bool(flags & BioFlags.FUA))
+            elif kind == "flush":
+                yield volume.submit(Bio.flush())
+                expect.note_flush_acked()
+            else:
+                expect.note_submit_reset(zone)
+                yield volume.submit(Bio.zone_reset(zone * self.zone_capacity))
+                expect.note_reset_acked(zone)
+
+
+def _fresh_array(seed: int):
+    """A formatted array in a fresh simulator (identical on every call)."""
+    sim = Simulator()
+    devices = [ZNSDevice(sim, name=f"zns{i}", num_zones=NUM_ZONES,
+                         zone_capacity=ZONE_CAPACITY, seed=seed + i)
+               for i in range(NUM_DEVICES)]
+    config = RaiznConfig(num_data=NUM_DEVICES - 1,
+                         stripe_unit_bytes=STRIPE_UNIT)
+    volume = RaiznVolume.create(sim, devices, config, array_uuid=ARRAY_UUID)
+    return sim, devices, volume
+
+
+def _drain(sim: Simulator) -> None:
+    """Run the event loop dry, absorbing power-loss process deaths."""
+    while True:
+        try:
+            sim.run()
+            return
+        except PowerLossError:
+            continue
+
+
+class _Report:
+    """Mutable counters the explorer fills in; serializes to JSON."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.workload_ops = 0
+        self.completion_boundaries = 0
+        self.boundaries_sampled = 0
+        self.survivor_product_total = 0
+        self.states_explored = 0
+        self.distinct_states: set = set()
+        #: (fingerprint, expectation summary) pairs already oracle-checked.
+        #: The expectation matters: the same settled state reached at two
+        #: boundaries can carry different acked frontiers, and only the
+        #: stronger one may expose a lost-acked-byte violation.
+        self.checked_keys: set = set()
+        self.double_crash_states = 0
+        self.double_crash_fired = 0
+        self.oracle_checks = {
+            "recovered_volume": 0,
+            "persistence_bitmap": 0,
+            "mount_stability": 0,
+            "double_crash_recovery": 0,
+        }
+        self.violations: List[Dict] = []
+        self.elapsed_s = 0.0
+
+    def violation(self, boundary: int, state: str, check: str,
+                  detail: str) -> None:
+        self.violations.append({
+            "boundary": boundary,
+            "state": state,
+            "check": check,
+            "detail": detail,
+        })
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "workload_ops": self.workload_ops,
+            "completion_boundaries": self.completion_boundaries,
+            "boundaries_sampled": self.boundaries_sampled,
+            "survivor_product_total": self.survivor_product_total,
+            "states_explored": self.states_explored,
+            "distinct_states": len(self.distinct_states),
+            "double_crash_states": self.double_crash_states,
+            "double_crash_fired": self.double_crash_fired,
+            "oracle_checks": dict(self.oracle_checks),
+            "violations": self.violations,
+            "passed": not self.violations,
+            "elapsed_s": round(self.elapsed_s, 2),
+        }
+
+
+def explore(seed: int = 0, num_ops: int = 90, boundaries: int = 60,
+            budget_per_boundary: int = 12, double_crash_every: int = 8,
+            batch_size: int = 12, progress=None) -> Dict:
+    """Run the full crash-state exploration; returns the report dict.
+
+    ``boundaries`` completion boundaries are sampled evenly from the
+    trace; each contributes up to ``budget_per_boundary`` survivor
+    states.  Every ``double_crash_every``-th explored state additionally
+    gets a crash injected during its recovery.  ``batch_size`` bounds how
+    many boundary snapshots are held in memory at once (each batch costs
+    one extra workload replay).
+    """
+    began = time.time()
+    report = _Report(seed)
+    workload = ScriptedWorkload(seed, num_ops, zone_capacity=ZONE_CAPACITY
+                                * (NUM_DEVICES - 1))
+    report.workload_ops = len(workload.ops)
+
+    # Pass 1: count completion boundaries.
+    sim, devices, volume = _fresh_array(seed)
+    counter = CompletionBoundaries(devices)
+    expect = WorkloadExpectation(volume.num_data_zones,
+                                 volume.zone_capacity)
+    sim.run_process(workload.run(volume, expect))
+    counter.disarm()
+    total = counter.count
+    report.completion_boundaries = total
+
+    sampled = sorted({max(1, round((i + 1) * total / boundaries))
+                      for i in range(min(boundaries, total))})
+    report.boundaries_sampled = len(sampled)
+    rng = random.Random(seed + 1)
+    state_serial = 0
+
+    for batch_start in range(0, len(sampled), batch_size):
+        batch = sampled[batch_start:batch_start + batch_size]
+        # Pass 2 (per batch): identical replay, snapshotting this batch's
+        # boundaries.  One replay per batch bounds snapshot memory.
+        sim, devices, volume = _fresh_array(seed)
+        expect = WorkloadExpectation(volume.num_data_zones,
+                                     volume.zone_capacity)
+        recorder = CompletionBoundaries(devices, snapshot_at=batch,
+                                        aux_state=expect.copy)
+        sim.run_process(workload.run(volume, expect))
+        recorder.disarm()
+
+        for boundary in batch:
+            snaps, frozen = recorder.snapshots[boundary]
+            array_restore_crash_snapshot(devices, snaps)
+            spaces = [dev.survivor_state_space() for dev in devices]
+            assignments, product = enumerate_survivor_assignments(
+                spaces, budget_per_boundary, rng)
+            report.survivor_product_total += product
+            expect_key = tuple(
+                (zone.synced, len(zone.submitted), zone.resetting)
+                for zone in frozen.zones)
+            for assignment in assignments:
+                array_restore_crash_snapshot(devices, snaps)
+                apply_survivor_assignment(devices, assignment)
+                fingerprint = array_state_fingerprint(devices)
+                state_serial += 1
+                report.states_explored += 1
+                report.distinct_states.add(fingerprint)
+                check_key = (fingerprint, expect_key)
+                double = state_serial % double_crash_every == 0
+                if check_key not in report.checked_keys:
+                    report.checked_keys.add(check_key)
+                    _check_state(sim, devices, frozen, boundary,
+                                 fingerprint, report)
+                if double:
+                    _check_double_crash(sim, devices, snaps, assignment,
+                                        frozen, boundary, fingerprint,
+                                        state_serial, seed, report)
+            if progress is not None:
+                progress(report)
+
+    report.elapsed_s = time.time() - began
+    return report.to_dict()
+
+
+def _check_state(sim, devices, expect, boundary, fingerprint,
+                 report) -> None:
+    """Mount one crash state and run the single-crash oracle."""
+    try:
+        volume = mount(sim, list(devices))
+    except ReproError as exc:
+        report.violation(boundary, fingerprint, "mount",
+                         f"mount failed: {exc!r}")
+        return
+    report.oracle_checks["recovered_volume"] += 1
+    for detail in check_recovered_volume(volume, expect):
+        report.violation(boundary, fingerprint, "recovered_volume", detail)
+    report.oracle_checks["persistence_bitmap"] += 1
+    for detail in check_persistence_bitmap_soundness(volume):
+        report.violation(boundary, fingerprint, "persistence_bitmap", detail)
+    try:
+        remounted = mount(sim, list(devices))
+    except ReproError as exc:
+        report.violation(boundary, fingerprint, "mount_stability",
+                         f"remount failed: {exc!r}")
+        return
+    report.oracle_checks["mount_stability"] += 1
+    for detail in check_mount_stability(volume, remounted):
+        report.violation(boundary, fingerprint, "mount_stability", detail)
+
+
+def _count_recovery_commands(sim, devices) -> int:
+    """How many device commands a clean recovery of this state issues.
+
+    Needed so the second crash can be placed anywhere in the *whole*
+    recovery — naive small depths only ever hit the superblock scan and
+    never reach hole repair or metadata compaction.
+    """
+    counts = [0]
+
+    def tally(device, bio) -> None:
+        counts[0] += 1
+
+    for dev in devices:
+        dev.pre_apply_hook = tally
+    try:
+        mount(sim, list(devices))
+    except ReproError:
+        pass  # an unmountable state is reported by _check_state
+    finally:
+        for dev in devices:
+            dev.pre_apply_hook = None
+    return counts[0]
+
+
+def _check_double_crash(sim, devices, snaps, assignment, expect, boundary,
+                        fingerprint, state_serial, seed, report) -> None:
+    """Crash again *during* recovery, then demand a clean final mount."""
+    report.double_crash_states += 1
+    rng = random.Random(seed * 1000003 + state_serial)
+    array_restore_crash_snapshot(devices, snaps)
+    apply_survivor_assignment(devices, assignment)
+    commands = _count_recovery_commands(sim, devices)
+    array_restore_crash_snapshot(devices, snaps)
+    apply_survivor_assignment(devices, assignment)
+    crash = CrashPoint(devices, after=1 + rng.randrange(max(1, commands)),
+                       rng=rng)
+    try:
+        mount(sim, list(devices))
+    except PowerLossError:
+        pass
+    except ReproError as exc:
+        crash.disarm()
+        report.violation(boundary, fingerprint, "double_crash_recovery",
+                         f"first recovery died non-crash: {exc!r}")
+        return
+    _drain(sim)
+    crash.disarm()
+    if crash.fired:
+        report.double_crash_fired += 1
+    for dev in devices:
+        dev.power_on()
+    try:
+        final = mount(sim, list(devices))
+    except ReproError as exc:
+        report.violation(boundary, fingerprint, "double_crash_recovery",
+                         f"mount after double crash failed: {exc!r}")
+        return
+    report.oracle_checks["double_crash_recovery"] += 1
+    for detail in check_recovered_volume(final, expect):
+        report.violation(boundary, fingerprint, "double_crash_recovery",
+                         detail)
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")

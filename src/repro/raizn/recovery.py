@@ -110,6 +110,7 @@ class _Recovery:
             yield from self._recover_zone(zone, partial_parity.get(zone, {}))
         yield from self._audit_relocated_parity()
         yield from self._run_threshold_rewrites()
+        yield from self._flush_repairs()
         self._bump_empty_generations()
         yield from self._finish_metadata()
 
@@ -441,6 +442,25 @@ class _Recovery:
                     volume.failed[device_index]:
                 continue
             yield from rewrite_physical_zone(volume, device_index, zone)
+
+    def _flush_repairs(self):
+        """Make every repair patch durable before metadata finalization.
+
+        Stripe repairs and parity heals are plain cached writes, yet the
+        persistence bitmaps rebuilt by ``_recover_zone`` already declare
+        the repaired region durable.  Metadata compaction flushes each
+        device as a side effect, but device N's old metadata zones are
+        reset before device N+1's patches are flushed, and the
+        generation-maintenance path may not compact at all — so a second
+        crash mid-finalization could lose patches the bitmap (and a
+        subsequent mount) counts on.  An explicit all-device barrier
+        closes that window and makes recovery re-entrant.
+        """
+        volume = self.volume
+        events = [volume.devices[index].submit(Bio.flush())
+                  for index in volume._alive_devices()]
+        if events:
+            yield self.sim.all_of(events)
 
     def _finish_metadata(self):
         """Compact metadata — or complete generation maintenance (§4.3)."""

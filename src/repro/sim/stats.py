@@ -86,6 +86,8 @@ class LatencyStats:
 
     @property
     def maximum(self) -> float:
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
         self._ensure_sorted()
         return self._samples[-1]
 

@@ -17,7 +17,7 @@ and recovery logic upstack is verified against real content.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Set
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..errors import (
     InvalidAddressError,
@@ -293,6 +293,15 @@ class ZNSDevice(BlockDevice):
 
     def _apply_finish(self, bio: Bio) -> float:
         zone = self.zone_at(bio.offset)
+        if zone.state is ZoneState.FULL:
+            return 0.0
+        # The NVMe state machine only admits ZONE_FINISH from a writable
+        # state; enforce it here so READ_ONLY/OFFLINE zones reject the
+        # command with the device-level error every other op produces.
+        if not zone.state.is_writable:
+            raise ZoneStateError(
+                f"{self.name}: cannot finish zone {zone.index} from "
+                f"{zone.state.value}")
         old_state = zone.state
         zone.finish()
         zone.state = old_state
@@ -332,8 +341,17 @@ class ZNSDevice(BlockDevice):
             zone = self.zone_at(bio.offset)
             # ZNS persistence is prefix-ordered within a zone: a durable
             # write implies everything before it in the zone is durable.
-            end = bio.end_offset if bio.op is Op.WRITE else (
-                (bio.result or 0) + bio.length)
+            if bio.op is Op.WRITE:
+                end = bio.end_offset
+            else:
+                # A FUA append's durable end is derived from the placement
+                # address; a missing result must fail loudly — falling back
+                # to 0 would silently persist a wrong (device-absolute-0
+                # based) prefix instead of the appended bytes.
+                assert bio.result is not None, (
+                    f"{self.name}: FUA zone append completed without a "
+                    "placement result")
+                end = bio.result + bio.length
             zone.durable_pointer = max(zone.durable_pointer,
                                        min(end, zone.write_pointer))
             if zone.durable_pointer >= zone.write_pointer:
@@ -354,8 +372,56 @@ class ZNSDevice(BlockDevice):
         for zone in self.zones:
             self._settle_zone_after_power_loss(zone, rng)
 
+    def zone_survivor_states(self, index: int) -> List[int]:
+        """Every legal post-power-loss write pointer for zone ``index``.
+
+        The ZNS persistence contract (paper §2.1) lets any whole number of
+        atomic write units of the unflushed tail survive a power cut, in
+        prefix order: the legal survivors are ``durable_pointer + k * AWU``
+        for ``k`` up to the cached unit count, plus the sub-unit tail when
+        one exists.  A clean zone has exactly one survivor state: its
+        current write pointer.
+        """
+        zone = self.zones[index]
+        cached = zone.write_pointer - zone.durable_pointer
+        if cached <= 0:
+            return [zone.write_pointer]
+        units = cached // self.atomic_write_bytes
+        tail = cached % self.atomic_write_bytes
+        states = [zone.durable_pointer + k * self.atomic_write_bytes
+                  for k in range(units + 1)]
+        if tail:
+            states.append(zone.write_pointer)
+        return states
+
+    def survivor_state_space(self) -> Dict[int, List[int]]:
+        """Per-dirty-zone survivor choices (clean zones have no choice)."""
+        return {index: self.zone_survivor_states(index)
+                for index in sorted(self._dirty_zones)}
+
+    def power_fail_to(self, survivors: Mapping[int, int]) -> None:
+        """Deterministic power cut: settle each zone to a chosen survivor.
+
+        ``survivors`` maps zone index to the durable write pointer that
+        zone keeps; it must be one of :meth:`zone_survivor_states` for the
+        zone.  Zones not named settle to their durable pointer (the
+        minimum legal survivor — for clean zones that is a no-op).  Used
+        by the crash-point explorer to enumerate crash states instead of
+        sampling them randomly.
+        """
+        for index, survivor in survivors.items():
+            if survivor not in self.zone_survivor_states(index):
+                raise InvalidAddressError(
+                    f"{self.name}: {survivor:#x} is not a legal survivor "
+                    f"state for zone {index}")
+        self.power_off()
+        for zone in self.zones:
+            self._settle_zone_to(
+                zone, survivors.get(zone.index, zone.durable_pointer))
+
     def _settle_zone_after_power_loss(self, zone: Zone,
                                       rng: random.Random) -> None:
+        survivor = zone.durable_pointer
         cached = zone.write_pointer - zone.durable_pointer
         if cached > 0:
             units = cached // self.atomic_write_bytes
@@ -365,10 +431,15 @@ class ZNSDevice(BlockDevice):
             if kept_units == units and tail and rng.random() < 0.5:
                 kept += tail
             survivor = zone.durable_pointer + kept
+        self._settle_zone_to(zone, survivor)
+
+    def _settle_zone_to(self, zone: Zone, survivor: int) -> None:
+        """Apply one zone's post-power-loss state: keep ``[start, survivor)``."""
+        if survivor < zone.write_pointer:
             self._media[survivor:zone.write_pointer] = bytes(
                 zone.write_pointer - survivor)
             zone.write_pointer = survivor
-            zone.durable_pointer = survivor
+        zone.durable_pointer = survivor
         self._dirty_zones.discard(zone.index)
         if zone.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
             return
@@ -382,6 +453,55 @@ class ZNSDevice(BlockDevice):
             self._transition(zone, ZoneState.FULL)
         else:
             self._transition(zone, ZoneState.CLOSED)
+
+    # -- crash snapshots ----------------------------------------------------------------
+
+    def crash_snapshot(self) -> Tuple:
+        """Opaque copy of all crash-relevant device state.
+
+        Captures each zone's written media prefix plus the zone table,
+        open/active accounting, the dirty set, power state, and the
+        service-time RNG, so a crash-state explorer can try many survivor
+        states / recovery runs from the same instant.  Only ``[start,
+        write_pointer)`` is saved per zone: bytes past the write pointer
+        are unobservable (reads are rejected, writes overwrite, the
+        power-loss settle zeroes what it rolls back), which keeps a
+        snapshot proportional to written data, not device size.
+        """
+        return (
+            [(z.state, z.write_pointer, z.durable_pointer,
+              z.last_write_time, z.finished_by_command,
+              bytes(self._media[z.start:z.write_pointer]))
+             for z in self.zones],
+            self._open_count,
+            self._active_count,
+            set(self._dirty_zones),
+            self.powered,
+            self.failed,
+            self._rng.getstate(),
+        )
+
+    def restore_crash_snapshot(self, snapshot: Tuple) -> None:
+        """Restore state captured by :meth:`crash_snapshot` (quiescent IO)."""
+        (zones, open_count, active_count, dirty, powered, failed,
+         rng_state) = snapshot
+        for zone, (state, wp, dp, lwt, fbc, prefix) in zip(self.zones, zones):
+            zone.state = state
+            zone.write_pointer = wp
+            zone.durable_pointer = dp
+            zone.last_write_time = lwt
+            zone.finished_by_command = fbc
+            self._media[zone.start:zone.start + len(prefix)] = prefix
+        self._open_count = open_count
+        self._active_count = active_count
+        self._dirty_zones = set(dirty)
+        self.powered = powered
+        self.failed = failed
+        self._rng.setstate(rng_state)
+        # A drained event loop leaves no channel holders; reset defensively
+        # so a restored device never inherits a stale grant.
+        self.channels.in_use = 0
+        self.channels._waiters.clear()
 
     def set_zone_read_only(self, index: int) -> None:
         """Inject an end-of-life READ_ONLY transition for zone ``index``."""

@@ -1,0 +1,190 @@
+"""The durability oracle and the end-to-end crash-state explorer.
+
+Unit-tests the :class:`WorkloadExpectation` bookkeeping and each
+``check_*`` function against live mounted volumes, then runs the full
+explorer at small scale: a clean pass, byte-identical determinism across
+runs, and — the detection-power test — a deliberately injected durability
+bug that the harness must catch.
+"""
+
+import json
+
+import pytest
+
+from repro.block import Bio, BioFlags
+from repro.faults import (
+    WorkloadExpectation,
+    check_mount_stability,
+    check_persistence_bitmap_soundness,
+    check_recovered_volume,
+)
+from repro.harness.crashtest import ScriptedWorkload, explore, write_report
+from repro.raizn.recovery import mount
+from repro.raizn.volume import RaiznVolume
+from repro.units import KiB
+
+from conftest import make_volume, pattern
+
+
+class TestWorkloadExpectation:
+    def test_submit_and_fua_ack(self):
+        expect = WorkloadExpectation(2, 1024 * KiB)
+        expect.note_submit_write(0, b"ab" * 2048)
+        assert expect.next_write_offset(0) == 4096
+        assert expect.zones[0].synced == 0
+        expect.note_write_acked(0, fua=False)
+        assert expect.zones[0].synced == 0   # plain ack promises nothing
+        expect.note_write_acked(0, fua=True)
+        assert expect.zones[0].synced == 4096
+
+    def test_flush_syncs_every_zone(self):
+        expect = WorkloadExpectation(2, 1024 * KiB)
+        expect.note_submit_write(0, bytes(4096))
+        expect.note_submit_write(1, bytes(8192))
+        expect.note_flush_acked()
+        assert expect.zones[0].synced == 4096
+        assert expect.zones[1].synced == 8192
+
+    def test_reset_lifecycle(self):
+        expect = WorkloadExpectation(1, 1024 * KiB)
+        expect.note_submit_write(0, bytes(4096))
+        expect.note_submit_reset(0)
+        assert expect.zones[0].resetting
+        expect.note_reset_acked(0)
+        assert not expect.zones[0].resetting
+        assert expect.next_write_offset(0) == 0
+
+    def test_copy_freezes_state(self):
+        expect = WorkloadExpectation(1, 1024 * KiB)
+        expect.note_submit_write(0, bytes(4096))
+        frozen = expect.copy()
+        expect.note_submit_write(0, bytes(4096))
+        expect.note_flush_acked()
+        assert len(frozen.zones[0].submitted) == 4096
+        assert frozen.zones[0].synced == 0
+
+
+class TestOracleChecks:
+    def _write_and_crash(self, sim, volume, devices, expect, flags):
+        data = pattern(128 * KiB, seed=1)
+        expect.note_submit_write(0, data)
+        volume.execute(Bio.write(0, data, flags))
+        for dev in devices:
+            dev.power_fail_to({})   # keep only durable prefixes
+            dev.power_on()
+        return mount(sim, list(devices))
+
+    def test_durable_data_passes(self, sim):
+        volume, devices = make_volume(sim)
+        expect = WorkloadExpectation(volume.num_data_zones,
+                                     volume.zone_capacity)
+        recovered = self._write_and_crash(
+            sim, volume, devices, expect,
+            BioFlags.FUA | BioFlags.PREFLUSH)
+        expect.note_write_acked(0, fua=True)
+        assert check_recovered_volume(recovered, expect) == []
+        assert check_persistence_bitmap_soundness(recovered) == []
+
+    def test_lost_acked_bytes_detected(self, sim):
+        """A falsely-claimed FUA ack over cache-only data must surface as
+        a write-pointer violation after the crash discards the cache."""
+        volume, devices = make_volume(sim)
+        expect = WorkloadExpectation(volume.num_data_zones,
+                                     volume.zone_capacity)
+        recovered = self._write_and_crash(sim, volume, devices, expect,
+                                          BioFlags.NONE)
+        expect.note_write_acked(0, fua=True)   # the lie
+        violations = check_recovered_volume(recovered, expect)
+        assert len(violations) == 1
+        assert "outside legal range" in violations[0]
+
+    def test_content_divergence_detected(self, sim):
+        volume, devices = make_volume(sim)
+        expect = WorkloadExpectation(volume.num_data_zones,
+                                     volume.zone_capacity)
+        recovered = self._write_and_crash(
+            sim, volume, devices, expect,
+            BioFlags.FUA | BioFlags.PREFLUSH)
+        expect.note_write_acked(0, fua=True)
+        expect.zones[0].submitted[10] ^= 0xFF   # corrupt the expectation
+        violations = check_recovered_volume(recovered, expect)
+        assert len(violations) == 1
+        assert "diverges" in violations[0]
+        assert "0xa" in violations[0]   # first divergent offset reported
+
+    def test_remount_is_stable(self, sim):
+        volume, devices = make_volume(sim)
+        expect = WorkloadExpectation(volume.num_data_zones,
+                                     volume.zone_capacity)
+        recovered = self._write_and_crash(
+            sim, volume, devices, expect,
+            BioFlags.FUA | BioFlags.PREFLUSH)
+        remounted = mount(sim, list(devices))
+        assert check_mount_stability(recovered, remounted) == []
+
+
+class TestScriptedWorkload:
+    def test_replay_is_identical(self):
+        a = ScriptedWorkload(seed=5, num_ops=40, zone_capacity=4096 * KiB)
+        b = ScriptedWorkload(seed=5, num_ops=40, zone_capacity=4096 * KiB)
+        assert a.ops == b.ops
+
+    def test_seeds_differ(self):
+        a = ScriptedWorkload(seed=5, num_ops=40, zone_capacity=4096 * KiB)
+        b = ScriptedWorkload(seed=6, num_ops=40, zone_capacity=4096 * KiB)
+        assert a.ops != b.ops
+
+    def test_writes_are_sequential_per_zone(self):
+        wl = ScriptedWorkload(seed=7, num_ops=60, zone_capacity=4096 * KiB)
+        frontier = {}
+        for kind, zone, lba, data, _flags in wl.ops:
+            if kind == "reset":
+                frontier[zone] = 0
+            elif kind == "write":
+                expected = zone * 4096 * KiB + frontier.get(zone, 0)
+                assert lba == expected
+                frontier[zone] = frontier.get(zone, 0) + len(data)
+
+
+SMALL = dict(seed=0, num_ops=20, boundaries=6, budget_per_boundary=4,
+             double_crash_every=5, batch_size=6)
+
+
+class TestExploreEndToEnd:
+    def test_small_exploration_passes(self):
+        report = explore(**SMALL)
+        assert report["passed"]
+        assert report["violations"] == []
+        assert report["states_explored"] > 0
+        assert 0 < report["distinct_states"] <= report["states_explored"]
+        assert report["double_crash_states"] > 0
+        assert report["oracle_checks"]["recovered_volume"] > 0
+        assert report["oracle_checks"]["mount_stability"] > 0
+        assert report["boundaries_sampled"] <= 6
+
+    def test_exploration_is_deterministic(self):
+        first = explore(**SMALL)
+        second = explore(**SMALL)
+        first.pop("elapsed_s")
+        second.pop("elapsed_s")
+        assert first == second
+
+    def test_injected_flush_bug_is_caught(self, monkeypatch):
+        """Detection power: drop the §5.3 selective-flush path so FLUSH
+        acks lie about cached stripe units — the explorer must find
+        crash states that lose acked bytes."""
+        monkeypatch.setattr(
+            RaiznVolume, "_flush_unpersisted",
+            lambda self, desc, bio, fua_devices: [])
+        report = explore(seed=0, num_ops=40, boundaries=12,
+                         budget_per_boundary=6, double_crash_every=10,
+                         batch_size=6)
+        assert not report["passed"]
+        assert any("outside legal range" in v["detail"]
+                   for v in report["violations"])
+
+    def test_report_roundtrips_to_json(self, tmp_path):
+        report = explore(**SMALL)
+        out = tmp_path / "report.json"
+        write_report(report, str(out))
+        assert json.loads(out.read_text()) == report

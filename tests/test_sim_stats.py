@@ -12,6 +12,24 @@ class TestLatencyStats:
         with pytest.raises(ValueError):
             LatencyStats().percentile(50)
 
+    def test_empty_collector_uniform_errors(self):
+        """Every statistic on an empty collector raises the same
+        ``ValueError`` — ``maximum`` used to leak a bare ``IndexError``."""
+        stats = LatencyStats()
+        for attribute in ("mean", "median", "p95", "p99", "p999", "maximum"):
+            with pytest.raises(ValueError, match="no latency samples"):
+                getattr(stats, attribute)
+        with pytest.raises(ValueError, match="no latency samples"):
+            stats.summary()
+
+    def test_summary_on_one_sample(self):
+        stats = LatencyStats()
+        stats.add(0.25)
+        summary = stats.summary()
+        assert summary["count"] == 1
+        assert all(summary[key] == 0.25 for key in
+                   ("mean", "median", "p95", "p99", "p99.9", "max"))
+
     def test_single_sample(self):
         stats = LatencyStats()
         stats.add(0.5)

@@ -61,6 +61,8 @@ class Bio:
         "length",
         "flags",
         "result",
+        "error",
+        "errors_as_status",
         "submit_time",
         "complete_time",
         "aux",
@@ -92,6 +94,14 @@ class Bio:
         # members compare and combine with ints transparently.
         self.flags = int(flags)
         self.result: object = None
+        #: The ``DeviceError`` this bio completed with, when the submitter
+        #: opted into error-status completion (see ``errors_as_status``).
+        self.error: Optional[BaseException] = None
+        #: Opt-in: a device error *completes* the bio with ``error`` set
+        #: instead of failing the completion event.  Mirrors the block
+        #: layer's ``bio->bi_status``: a driver that checks status gets the
+        #: failing bio back; everyone else keeps the legacy raise behaviour.
+        self.errors_as_status = False
         self.submit_time: Optional[float] = None
         self.complete_time: Optional[float] = None
         #: Device-private scratch (e.g. flush snapshots); not for callers.

@@ -98,12 +98,12 @@ class BlockDevice:
         bio.submit_time = self.sim.now
         done = Event(self.sim)
         if self.failed:
-            self.sim.schedule(0.0, done.fail,
-                              DeviceFailedError(f"{self.name} has failed"))
+            self._reject(bio, done,
+                         DeviceFailedError(f"{self.name} has failed"))
             return done
         if not self.powered:
-            self.sim.schedule(0.0, done.fail,
-                              PowerLossError(f"{self.name} is powered off"))
+            self._reject(bio, done,
+                         PowerLossError(f"{self.name} is powered off"))
             return done
         try:
             if self.pre_apply_hook is not None:
@@ -117,7 +117,7 @@ class BlockDevice:
             bio.check_alignment()
             extra_time = self._apply(bio)
         except DeviceError as exc:
-            self.sim.schedule(0.0, done.fail, exc)
+            self._reject(bio, done, exc)
             return done
         # Service chain: channel grant -> occupancy -> pipeline -> complete,
         # as plain scheduled callbacks.  A generator process here cost a
@@ -176,12 +176,29 @@ class BlockDevice:
         else:
             self._complete(bio, done)
 
+    def _reject(self, bio: Bio, done: Event, exc: BaseException) -> None:
+        """Deliver a command error: fail the event, or — when the submitter
+        opted in via ``bio.errors_as_status`` — complete the bio with
+        ``bio.error`` set so the caller can recover per-bio instead of
+        having a gathered fan-out unwind on the first failure."""
+        if bio.errors_as_status:
+            bio.error = exc
+            self.sim.schedule(0.0, self._complete_errored, bio, done)
+        else:
+            self.sim.schedule(0.0, done.fail, exc)
+
+    def _complete_errored(self, bio: Bio, done: Event) -> None:
+        bio.complete_time = self.sim.now
+        done.succeed(bio)
+
     def _complete(self, bio: Bio, done: Event) -> None:
         if self.failed:
-            done.fail(DeviceFailedError(f"{self.name} failed mid-IO"))
+            self._fail_inflight(bio, done,
+                                DeviceFailedError(f"{self.name} failed mid-IO"))
             return
         if not self.powered:
-            done.fail(PowerLossError(f"{self.name} lost power mid-IO"))
+            self._fail_inflight(bio, done,
+                                PowerLossError(f"{self.name} lost power mid-IO"))
             return
         self._persist(bio)
         self.stats.account(bio)
@@ -189,6 +206,14 @@ class BlockDevice:
         done.succeed(bio)
         if self.completion_hook is not None:
             self.completion_hook(self, bio)
+
+    def _fail_inflight(self, bio: Bio, done: Event, exc: BaseException) -> None:
+        if bio.errors_as_status:
+            bio.error = exc
+            bio.complete_time = self.sim.now
+            done.succeed(bio)
+        else:
+            done.fail(exc)
 
     # -- fault injection ---------------------------------------------------------
 

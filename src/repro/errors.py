@@ -56,6 +56,28 @@ class DeviceFailedError(DeviceError):
     """The device has failed (fault injection) and rejects all IO."""
 
 
+class MediaError(DeviceError):
+    """An unrecoverable media (UNC) error on a read.
+
+    Carries the failing location so upstack layers can reconstruct the
+    affected stripe unit from redundancy and heal it.  ``bio.result``
+    still holds the (corrupt) media content when the bio opted into
+    error-status completion, letting harnesses demonstrate what an
+    unprotected consumer would have seen.
+    """
+
+    def __init__(self, message: str, device: str = "",
+                 offset: int = 0, length: int = 0):
+        super().__init__(message)
+        self.device = device
+        self.offset = offset
+        self.length = length
+
+
+class TransientCommandError(DeviceError):
+    """A command failed transiently; retrying the same command may succeed."""
+
+
 class PowerLossError(DeviceError):
     """IO issued to a device that is powered off."""
 

@@ -10,6 +10,7 @@ from .crashpoints import (
     survivor_product_size,
 )
 from .devicefail import fail_and_rebuild, fresh_replacement, wear_out_zone
+from .errinject import FaultCounts, FaultPlan
 from .oracle import (
     WorkloadExpectation,
     ZoneExpectation,
@@ -30,6 +31,8 @@ __all__ = [
     "fail_and_rebuild",
     "fresh_replacement",
     "wear_out_zone",
+    "FaultCounts",
+    "FaultPlan",
     "CompletionBoundaries",
     "apply_survivor_assignment",
     "array_crash_snapshot",

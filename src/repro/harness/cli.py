@@ -163,6 +163,40 @@ def run_crashtest(states: int = 600, seed: int = 0,
     return 1 if report["violations"] else 0
 
 
+def run_errortest_cli(seed: int = 0, smoke: bool = False,
+                      out: str = "errortest_report.json") -> int:
+    """Seeded error campaign + integrity oracle + detection-power check."""
+    from .errortest import run_errortest, write_report
+
+    report = run_errortest(seed=seed, smoke=smoke)
+    write_report(report, out)
+    injected = report["injected"]
+    health = report["health"]
+    print(f"workload: {report['workload_ops']} ops "
+          f"({report['midstream_reads']} inline reads)")
+    print(f"injected: {injected['total']} faults "
+          f"(latent {injected['latent']}, transient {injected['transient']}, "
+          f"wear {injected['wear']}; floor {report['min_faults']})")
+    print(f"healing: {health['heals']} stripe units healed, "
+          f"{health['parity_heals']} parity heals, "
+          f"{health['transient_retries']} retries, "
+          f"{health['evictions']} evictions")
+    if report.get("scrub"):
+        print(f"scrub: {report['scrub']['stripes_scanned']} stripes, "
+              f"{report['scrub']['parity_heals']} parity repairs")
+    verified = sum(p["bytes"] for p in report["verify_passes"])
+    print(f"verified: {verified} bytes over "
+          f"{len(report['verify_passes'])} passes, "
+          f"{report['corruptions']} corruptions")
+    detection = report["detection_power"]
+    print(f"detection power (read-repair off): "
+          f"{detection['corruptions']} corruptions caught "
+          f"({detection['unrepaired_serves']} unrepaired serves)")
+    print("errortest PASSED" if report["passed"] else "errortest FAILED")
+    print(f"report written to {out}")
+    return 0 if report["passed"] else 1
+
+
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "table1": run_table1,
     "rawdev": run_rawdev,
@@ -178,6 +212,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 
 DESCRIPTIONS = {
     "crashtest": "systematic crash-state enumeration + durability oracle",
+    "errortest": "seeded error campaign + integrity oracle (self-healing)",
     "table1": "Table 1: RAIZN metadata location and size",
     "rawdev": "§6.1 raw device throughput (model calibration)",
     "fig7": "Figure 7: mdraid stripe-unit sweep",
@@ -201,9 +236,11 @@ def main(argv=None) -> int:
     parser.add_argument("--states", type=int, default=600,
                         help="crashtest: target number of crash states")
     parser.add_argument("--seed", type=int, default=0,
-                        help="crashtest: workload / sampling seed")
-    parser.add_argument("--out", default="crashtest_report.json",
-                        help="crashtest: JSON report path")
+                        help="crashtest/errortest: campaign seed")
+    parser.add_argument("--out", default=None,
+                        help="crashtest/errortest: JSON report path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="errortest: small CI-sized campaign")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -215,8 +252,14 @@ def main(argv=None) -> int:
     if args.experiment == "crashtest":
         began = time.time()
         status = run_crashtest(states=args.states, seed=args.seed,
-                               out=args.out)
+                               out=args.out or "crashtest_report.json")
         print(f"[crashtest completed in {time.time() - began:.1f}s wall]")
+        return status
+    if args.experiment == "errortest":
+        began = time.time()
+        status = run_errortest_cli(seed=args.seed, smoke=args.smoke,
+                                   out=args.out or "errortest_report.json")
+        print(f"[errortest completed in {time.time() - began:.1f}s wall]")
         return status
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

@@ -1,0 +1,400 @@
+"""Seeded storage-error campaign + end-to-end integrity oracle.
+
+Answers the question the self-healing datapath exists for: *after
+hundreds of injected media, transient, and wear-out faults, is every
+byte the array ever acknowledged still exactly what was written?*
+
+The campaign runs four phases against one small array:
+
+1. **Fault workload** — a scripted write/read/flush/reset workload runs
+   with a :class:`~repro.faults.errinject.FaultPlan` armed: latent (UNC)
+   errors corrupt just-written media, transient command failures hit a
+   fraction of submissions, and victim zones wear out to READ_ONLY /
+   OFFLINE mid-write.  Mid-campaign reads exercise retry and read-repair
+   under foreground load.
+2. **Scrub** — a full background-scrub pass walks every written stripe,
+   healing latent data errors and re-establishing mismatched parity.
+3. **Verify** — every acknowledged byte of every zone is read back and
+   compared against the workload's expected image; any mismatch is an
+   integrity violation (and, en passant, the reads heal whatever the
+   scrub did not reach).
+4. **Eviction + rebuild** — one device is driven over the volume's
+   error threshold with targeted command failures until the volume
+   evicts it into degraded mode; the full image is verified degraded,
+   the device is rebuilt onto a fresh replacement, and verified again.
+
+A companion **detection-power** run repeats a small campaign with
+``read_repair`` disabled and asserts the oracle *does* catch the
+resulting corruption — evidence that "0 violations" in the main
+campaign is a property of the healing datapath, not of a blind oracle.
+
+Run via ``python -m repro errortest [--smoke]``; emits a JSON report.
+Fixed seed ⇒ bit-identical report (minus wall-clock timing).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..block.bio import Bio, BioFlags
+from ..faults.devicefail import fresh_replacement
+from ..faults.errinject import FaultPlan
+from ..raizn.config import RaiznConfig
+from ..raizn.maintenance import run_scrub
+from ..raizn.rebuild import rebuild
+from ..raizn.volume import RaiznVolume
+from ..sim import Simulator
+from ..units import KiB, MiB
+from ..zns.device import ZNSDevice
+
+#: Array geometry (same scale as the crashtest explorer).
+NUM_DEVICES = 5
+NUM_ZONES = 12
+ZONE_CAPACITY = 1 * MiB
+STRIPE_UNIT = 64 * KiB
+WORKLOAD_ZONES = 3
+ARRAY_UUID = bytes(range(16))
+
+_WRITE_SIZES = (4 * KiB, 16 * KiB, 64 * KiB, 128 * KiB, 192 * KiB,
+                256 * KiB)
+#: Device evicted in the eviction phase.
+EVICT_TARGET = 1
+
+
+class _ZoneModel:
+    """Expected contents of one logical zone (what the array acked)."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+
+    def write(self, payload: bytes) -> None:
+        self.data.extend(payload)
+
+    def reset(self) -> None:
+        self.data = bytearray()
+
+
+class CampaignReport:
+    """Mutable campaign counters; serializes to JSON."""
+
+    def __init__(self, seed: int, smoke: bool, read_repair: bool):
+        self.seed = seed
+        self.smoke = smoke
+        self.read_repair = read_repair
+        self.workload_ops = 0
+        self.midstream_reads = 0
+        self.injected: Dict = {}
+        self.health: Dict = {}
+        self.scrub: Dict = {}
+        self.verify_passes: List[Dict] = []
+        self.eviction: Dict = {}
+        self.rebuild: Dict = {}
+        self.corruptions = 0
+        self.violations: List[Dict] = []
+        self.elapsed_s = 0.0
+
+    def corruption(self, phase: str, zone: int, offset: int,
+                   length: int) -> None:
+        self.corruptions += 1
+        if len(self.violations) < 20:
+            self.violations.append({
+                "phase": phase,
+                "zone": zone,
+                "offset": offset,
+                "length": length,
+            })
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "smoke": self.smoke,
+            "read_repair": self.read_repair,
+            "workload_ops": self.workload_ops,
+            "midstream_reads": self.midstream_reads,
+            "injected": self.injected,
+            "health": self.health,
+            "scrub": self.scrub,
+            "verify_passes": self.verify_passes,
+            "eviction": self.eviction,
+            "rebuild": self.rebuild,
+            "corruptions": self.corruptions,
+            "violations": self.violations,
+            "passed": self.corruptions == 0 and not self.violations,
+            "elapsed_s": round(self.elapsed_s, 2),
+        }
+
+
+def _fresh_array(seed: int, read_repair: bool, error_threshold: int):
+    sim = Simulator()
+    devices = [ZNSDevice(sim, name=f"zns{i}", num_zones=NUM_ZONES,
+                         zone_capacity=ZONE_CAPACITY, seed=seed + i)
+               for i in range(NUM_DEVICES)]
+    # Extra metadata zones: heal relocation entries are stripe-unit
+    # sized, so the GENERAL log rotates far more often than under a
+    # fault-free workload, and its checkpoint can spill past one zone
+    # (a worn-out zone's worth of relocated SUs exceeds one metadata
+    # zone).  Five zones sustain a two-zone checkpoint at steady state:
+    # role + spill live while two fresh swap zones stay in the pool.
+    config = RaiznConfig(num_data=NUM_DEVICES - 1,
+                         stripe_unit_bytes=STRIPE_UNIT,
+                         num_metadata_zones=5,
+                         max_transient_retries=4,
+                         device_error_threshold=error_threshold,
+                         read_repair=read_repair)
+    volume = RaiznVolume.create(sim, devices, config, array_uuid=ARRAY_UUID)
+    return sim, devices, volume
+
+
+def _script_ops(seed: int, num_ops: int, zone_capacity: int,
+                allow_resets: bool = True):
+    """Deterministic op script: (kind, zone, size_or_none, flags)."""
+    rng = random.Random(seed)
+    ops: List[Tuple[str, int, Optional[int], BioFlags]] = []
+    frontier = [0] * WORKLOAD_ZONES
+    for _ in range(num_ops):
+        zone = rng.randrange(WORKLOAD_ZONES)
+        roll = rng.random()
+        if roll < 0.08:
+            ops.append(("flush", 0, None, BioFlags.NONE))
+            continue
+        if roll < 0.30 and frontier[zone] > 0:
+            ops.append(("read", zone, None, BioFlags.NONE))
+            continue
+        if roll < 0.33 and allow_resets and frontier[zone] > 0:
+            ops.append(("reset", zone, None, BioFlags.NONE))
+            frontier[zone] = 0
+            continue
+        nbytes = rng.choice(_WRITE_SIZES)
+        if frontier[zone] + nbytes > zone_capacity:
+            ops.append(("reset", zone, None, BioFlags.NONE))
+            frontier[zone] = 0
+        flag_roll = rng.random()
+        if flag_roll < 0.15:
+            flags = BioFlags.FUA | BioFlags.PREFLUSH
+        elif flag_roll < 0.30:
+            flags = BioFlags.FUA
+        else:
+            flags = BioFlags.NONE
+        ops.append(("write", zone, nbytes, flags))
+        frontier[zone] += nbytes
+    return ops
+
+
+def _drive(sim: Simulator, volume: RaiznVolume, ops, seed: int,
+           model: List[_ZoneModel], report: CampaignReport):
+    """Process-style workload driver with inline read verification."""
+    rng = random.Random(seed + 17)
+    zone_capacity = volume.zone_capacity
+    for op_index, (kind, zone, size, flags) in enumerate(ops):
+        base = zone * zone_capacity
+        if kind == "write":
+            data = random.Random(seed * 1000003 + op_index).randbytes(size)
+            lba = base + len(model[zone].data)
+            yield volume.submit(Bio.write(lba, data, flags))
+            model[zone].write(data)
+        elif kind == "flush":
+            yield volume.submit(Bio.flush())
+        elif kind == "reset":
+            yield volume.submit(Bio.zone_reset(base))
+            model[zone].reset()
+        else:  # read
+            frontier = len(model[zone].data)
+            if frontier < 4 * KiB:
+                continue
+            offset = rng.randrange(0, frontier // (4 * KiB)) * (4 * KiB)
+            length = min(frontier - offset,
+                         (1 + rng.randrange(16)) * (4 * KiB))
+            bio = yield volume.submit(Bio.read(base + offset, length))
+            report.midstream_reads += 1
+            if bio.result != bytes(model[zone].data[offset:offset + length]):
+                report.corruption("workload", zone, offset, length)
+
+
+def _verify(sim: Simulator, volume: RaiznVolume, model: List[_ZoneModel],
+            report: CampaignReport, label: str):
+    """Read back every acked byte of every zone and compare (process)."""
+    chunk = volume.config.stripe_width_bytes
+    verified = 0
+    corruptions_before = report.corruptions
+    for zone in range(WORKLOAD_ZONES):
+        expected = model[zone].data
+        base = zone * volume.zone_capacity
+        offset = 0
+        while offset < len(expected):
+            length = min(chunk, len(expected) - offset)
+            bio = yield volume.submit(Bio.read(base + offset, length))
+            if bio.result != bytes(expected[offset:offset + length]):
+                report.corruption(label, zone, offset, length)
+            verified += length
+            offset += length
+    report.verify_passes.append({
+        "label": label,
+        "bytes": verified,
+        "corruptions": report.corruptions - corruptions_before,
+    })
+
+
+def _evict_phase(sim: Simulator, volume: RaiznVolume, plan: FaultPlan,
+                 model: List[_ZoneModel], report: CampaignReport):
+    """Drive EVICT_TARGET over the error threshold with targeted faults.
+
+    Every submission to the target fails transiently, so each read of
+    one of its stripe units exhausts the retry budget, charges one
+    error, and is served from redundancy — correct data throughout,
+    until the threshold trips and the volume evicts the device.
+    """
+    target = EVICT_TARGET
+    su = volume.config.stripe_unit_bytes
+    width = volume.config.stripe_width_bytes
+    # Stage fresh stripes in a zone the fault workload never touched:
+    # reads there are guaranteed to reach the target device rather than
+    # a relocated copy healed earlier in the campaign.  All injection is
+    # paused while staging so the zone stays pristine.
+    plan.latent_rate = 0.0
+    plan.transient_rate = 0.0
+    plan.transient_targets = None
+    zone = WORKLOAD_ZONES
+    stage = random.Random(report.seed * 7919 + 17)
+    stripe = 0
+    while target not in volume.mapper.stripe_layout(
+            zone, stripe).data_devices:
+        stripe += 1
+    payload = [stage.randbytes(width) for _ in range(stripe + 1)]
+    for index, data in enumerate(payload):
+        yield volume.submit(
+            Bio.write(zone * volume.zone_capacity + index * width, data))
+    yield volume.submit(Bio.flush())
+    layout = volume.mapper.stripe_layout(zone, stripe)
+    i = layout.data_devices.index(target)
+    offset = stripe * width + i * su
+    expected = payload[stripe][i * su:(i + 1) * su]
+    # Every submission to the target now fails transiently, so each read
+    # of its stripe unit exhausts the retry budget, charges one error,
+    # and is served from redundancy — correct data throughout, until the
+    # threshold trips and the volume evicts the device.  The degraded
+    # serve does not relocate, so re-reading the same unit keeps hitting
+    # the device.
+    plan.transient_rate = 1.0
+    plan.transient_targets = {target}
+    reads = 0
+    safety = 4 * volume.config.device_error_threshold
+    while not volume.failed[target] and reads < safety:
+        bio = yield volume.submit(
+            Bio.read(zone * volume.zone_capacity + offset, su))
+        reads += 1
+        if bio.result != expected:
+            report.corruption("evict", zone, offset, su)
+    plan.transient_rate = 0.0
+    plan.transient_targets = None
+    report.eviction = {
+        "target": target,
+        "evicted": bool(volume.failed[target]),
+        "reads": reads,
+    }
+
+
+def run_campaign(seed: int = 0, smoke: bool = False,
+                 read_repair: bool = True,
+                 with_eviction: bool = True,
+                 allow_resets: bool = True) -> CampaignReport:
+    """One full error campaign; returns the filled-in report."""
+    report = CampaignReport(seed, smoke, read_repair)
+    num_ops = 80 if smoke else 160
+    threshold = 15 if smoke else 40
+    sim, devices, volume = _fresh_array(seed, read_repair, threshold)
+    rng = random.Random(seed + 5)
+    victim_devices = rng.sample(range(NUM_DEVICES), 2 if smoke else 3)
+    # All wear victims share one zone, so the other workload zones stay
+    # eligible for latent injection.  Only the first goes OFFLINE — a
+    # stripe can lose at most one readable unit (READ_ONLY zones still
+    # serve reads), which single parity tolerates.
+    wear_zone = rng.randrange(WORKLOAD_ZONES)
+    wear_victims = [(dev, wear_zone, vi == 0)
+                    for vi, dev in enumerate(victim_devices)]
+    plan = FaultPlan(
+        seed=seed + 1,
+        num_data_zones=volume.num_data_zones,
+        stripe_unit_bytes=STRIPE_UNIT,
+        latent_rate=0.4 if smoke else 0.45,
+        transient_rate=0.01 if smoke else 0.015,
+        max_latent_per_device=5 if smoke else 8,
+        wear_victims=wear_victims,
+        wear_after_writes=6 if smoke else 8,
+    )
+    plan.arm(devices)
+
+    ops = _script_ops(seed, num_ops,
+                      zone_capacity=ZONE_CAPACITY * (NUM_DEVICES - 1),
+                      allow_resets=allow_resets)
+    report.workload_ops = len(ops)
+    model = [_ZoneModel() for _ in range(WORKLOAD_ZONES)]
+    sim.run_process(_drive(sim, volume, ops, seed, model, report))
+
+    if read_repair:
+        report.scrub = run_scrub(sim, volume).to_dict()
+    sim.run_process(_verify(sim, volume, model, report, "post-scrub"))
+
+    if with_eviction and read_repair:
+        sim.run_process(_evict_phase(sim, volume, plan, model, report))
+        sim.run_process(_verify(sim, volume, model, report, "degraded"))
+        if volume.failed[EVICT_TARGET]:
+            plan.latent_rate = 0.0
+            template = next(d for i, d in enumerate(volume.devices)
+                            if d is not None and i != EVICT_TARGET)
+            replacement = fresh_replacement(sim, template,
+                                            name=f"replacement{EVICT_TARGET}",
+                                            seed=seed + 99)
+            rb = rebuild(sim, volume, EVICT_TARGET, replacement)
+            report.rebuild = {
+                "zones_rebuilt": rb.zones_rebuilt,
+                "bytes_written": rb.bytes_written,
+            }
+            sim.run_process(_verify(sim, volume, model, report,
+                                    "post-rebuild"))
+    plan.disarm()
+    report.injected = plan.counts.to_dict()
+    report.health = volume.health.to_dict()
+    return report
+
+
+def detection_power(seed: int = 0) -> Dict:
+    """Small campaign with read-repair off: the oracle must catch it.
+
+    With healing disabled, injected latent errors are served verbatim,
+    so a sound integrity oracle must report corruption.  If this comes
+    back clean, the main campaign's "0 violations" would be meaningless.
+    """
+    report = run_campaign(seed=seed, smoke=True, read_repair=False,
+                          with_eviction=False, allow_resets=False)
+    return {
+        "corruptions": report.corruptions,
+        "unrepaired_serves": report.health.get("unrepaired_serves", 0),
+        "caught": report.corruptions > 0,
+    }
+
+
+def run_errortest(seed: int = 0, smoke: bool = False) -> Dict:
+    """The full errortest: main campaign + detection-power check."""
+    began = time.time()
+    report = run_campaign(seed=seed, smoke=smoke)
+    result = report.to_dict()
+    result["detection_power"] = detection_power(seed)
+    min_faults = 20 if smoke else 200
+    result["min_faults"] = min_faults
+    result["passed"] = (
+        result["passed"]
+        and result["injected"].get("total", 0) >= min_faults
+        and result["detection_power"]["caught"]
+        and result["eviction"].get("evicted", False)
+    )
+    result["elapsed_s"] = round(time.time() - began, 2)
+    return result
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")

@@ -13,7 +13,10 @@ rate on workloads representative of the figures:
   flushes (the §5.3 persistence protocol, metadata-append heavy);
 * ``seq_read`` — sequential reads over a primed volume;
 * ``degraded_read`` — the same reads with one device failed, so every
-  fourth stripe unit is reconstructed from parity.
+  fourth stripe unit is reconstructed from parity;
+* ``scrub_overhead`` — the same reads with a background parity scrub
+  running and a sprinkling of latent media errors, so the foreground
+  rate includes verify-and-heal traffic.
 
 Each scenario reports **simulated MiB moved per wall-clock second** —
 higher is a faster simulator, not a faster simulated device.  The run
@@ -50,7 +53,7 @@ from ..zns.device import ZNSDevice
 BENCH_UUID = bytes(range(16))
 
 SCENARIO_NAMES = ("seq_write", "multizone_write", "oltp_flush",
-                  "seq_read", "degraded_read")
+                  "seq_read", "degraded_read", "scrub_overhead")
 
 #: Scenarios whose wall-clock rate defines the write-path macro number.
 WRITE_PATH_SCENARIOS = ("seq_write", "multizone_write", "oltp_flush")
@@ -339,12 +342,28 @@ def _build_degraded_read(scale: PerfScale, seed: int):
     return sim, volume, devices, _read_bios(volume, scale, 64 * KiB)
 
 
+def _build_scrub_overhead(scale: PerfScale, seed: int):
+    from ..raizn.maintenance import scrub_process
+
+    sim, volume, devices = _fresh_array(scale, seed)
+    _prime(sim, volume, scale, seed)
+    # Deterministic sprinkling of latent (UNC) errors so the scrub and
+    # the foreground reads both exercise the read-repair path.
+    su = scale.stripe_unit_bytes
+    for zone in range(scale.zones_used):
+        device = devices[(zone + 2) % scale.num_devices]
+        device.mark_bad(zone * volume.phys_zone_size + (zone % 4) * su, su)
+    sim.process(scrub_process(sim, volume))
+    return sim, volume, devices, _read_bios(volume, scale, 64 * KiB)
+
+
 _SCENARIOS = {
     "seq_write": _build_seq_write,
     "multizone_write": _build_multizone_write,
     "oltp_flush": _build_oltp,
     "seq_read": _build_seq_read,
     "degraded_read": _build_degraded_read,
+    "scrub_overhead": _build_scrub_overhead,
 }
 
 

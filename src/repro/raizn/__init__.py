@@ -4,9 +4,12 @@ exposing a single ZNS device over an array of ZNS SSDs."""
 from .address import AddressMapper, StripeLocation
 from .config import RaiznConfig
 from .maintenance import (
+    ScrubReport,
     needs_generation_maintenance,
     rewrite_physical_zone,
     run_generation_maintenance,
+    run_scrub,
+    scrub_process,
     zones_needing_rewrite,
 )
 from .metadata import MetadataEntry, MetadataType, Superblock
@@ -41,4 +44,7 @@ __all__ = [
     "rewrite_physical_zone",
     "run_generation_maintenance",
     "zones_needing_rewrite",
+    "ScrubReport",
+    "run_scrub",
+    "scrub_process",
 ]

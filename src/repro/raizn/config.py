@@ -36,6 +36,20 @@ class RaiznConfig:
     #: is rewritten during initialization (§5.2, "user-modifiable
     #: threshold").
     relocation_rebuild_threshold: int = 16
+    #: Retries of a device command that failed with TransientCommandError
+    #: before the error escalates (the datapath counts the initial attempt
+    #: separately, so ``2`` means up to 3 submissions total).
+    max_transient_retries: int = 2
+    #: Simulated delay between transient-error retries, in seconds.
+    transient_backoff_s: float = 100e-6
+    #: Media/command errors charged against one device before the volume
+    #: evicts it into degraded mode (error-threshold eviction).
+    device_error_threshold: int = 25
+    #: Heal latent media errors in the read path: reconstruct the stripe
+    #: unit from redundancy and relocate it (§5.2 machinery) so the next
+    #: read hits clean media.  Disabled only by harnesses measuring the
+    #: detection power of their integrity oracle.
+    read_repair: bool = True
 
     def __post_init__(self) -> None:
         if self.num_parity != 1:
@@ -50,6 +64,12 @@ class RaiznConfig:
                 "(partial parity + general + swap)")
         if self.stripe_buffers_per_zone < 1:
             raise RaiznError("need at least one stripe buffer per open zone")
+        if self.max_transient_retries < 0:
+            raise RaiznError("max_transient_retries must be >= 0")
+        if self.transient_backoff_s < 0:
+            raise RaiznError("transient_backoff_s must be >= 0")
+        if self.device_error_threshold < 1:
+            raise RaiznError("device_error_threshold must be >= 1")
 
     @property
     def num_devices(self) -> int:

@@ -221,3 +221,154 @@ def find_maintenance_wal(entries) -> bool:
             if opcode == OP_GEN_MAINTENANCE:
                 return True
     return False
+
+
+# -- background scrubbing ------------------------------------------------------
+
+
+class ScrubReport:
+    """What one scrub pass found and fixed."""
+
+    def __init__(self) -> None:
+        #: Complete stripes whose parity was checked.
+        self.stripes_scanned = 0
+        #: Data stripe units the logical read path healed along the way
+        #: (latent media errors surfaced by the scrub's own reads).
+        self.data_heals = 0
+        #: Parity copies that did not match the recomputed value.
+        self.parity_mismatches = 0
+        #: Parity media errors found on the parity PBA itself.
+        self.parity_media_errors = 0
+        #: Parity copies re-established (in memory + partial-parity log).
+        self.parity_heals = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "stripes_scanned": self.stripes_scanned,
+            "data_heals": self.data_heals,
+            "parity_mismatches": self.parity_mismatches,
+            "parity_media_errors": self.parity_media_errors,
+            "parity_heals": self.parity_heals,
+        }
+
+
+def scrub_process(sim: Simulator, volume, idle_delay: float = 0.0,
+                  report: Optional[ScrubReport] = None):
+    """Process-style background scrub pass over every written stripe.
+
+    Walks each logical zone's complete stripes, reading the stripe
+    through the volume's logical read path — which transparently heals
+    latent data errors via read-repair — and verifying that the stored
+    parity matches the parity recomputed from the data.  Mismatched or
+    unreadable parity is routed through the same heal machinery the
+    datapath uses: the true parity is recorded in the relocated-parity
+    map and persisted to the parity device's partial-parity log (§5.2).
+
+    ``idle_delay`` seconds of simulated idle time are inserted between
+    stripes so the scrub trickles along behind foreground IO instead of
+    monopolising the channels.
+    """
+    from ..errors import MediaError
+    from ..zns.spec import ZoneState
+    from .parity import stripe_parity
+
+    if report is None:
+        report = ScrubReport()
+    su = volume.config.stripe_unit_bytes
+    heals_before = volume.health.heals
+    for desc in volume.zone_descs:
+        zone = desc.zone
+        full_stripes = desc.written_bytes // desc.stripe_width
+        for stripe in range(full_stripes):
+            stripe_lba = desc.start_lba + stripe * desc.stripe_width
+            bio = yield volume.submit(Bio.read(stripe_lba,
+                                               desc.stripe_width))
+            report.stripes_scanned += 1
+            units = [bio.result[i * su:(i + 1) * su]
+                     for i in range(volume.config.num_data)]
+            expected = stripe_parity(units, su)
+            layout = volume.mapper.stripe_layout(zone, stripe)
+            parity_device = layout.parity_device
+            key = (zone, stripe)
+            relocated = volume.relocated_parity.get(key)
+            if relocated is not None:
+                # The authoritative parity is the in-memory/logged copy.
+                if bytes(relocated) != expected:
+                    report.parity_mismatches += 1
+                    yield from _heal_parity_copy(volume, desc, stripe,
+                                                 expected, report)
+                if idle_delay:
+                    yield sim.timeout(idle_delay)
+                continue
+            if not volume._device_available(parity_device, zone):
+                # Degraded: the parity is gone with the device; the
+                # rebuild recreates it.
+                if idle_delay:
+                    yield sim.timeout(idle_delay)
+                continue
+            pdesc = volume.phys[parity_device][zone]
+            pba = zone * volume.phys_zone_size + stripe * su
+            if pdesc.state is ZoneState.OFFLINE or \
+                    pdesc.write_pointer < pba + su:
+                # The parity PBA is unreadable (worn-out zone) or holds
+                # nothing; until healed, this stripe's parity exists only
+                # in partial-parity deltas.  Re-establish a full copy so
+                # degraded reads stop depending on the log.
+                if pdesc.state is ZoneState.OFFLINE:
+                    report.parity_media_errors += 1
+                else:
+                    report.parity_mismatches += 1
+                yield from _heal_parity_copy(volume, desc, stripe,
+                                             expected, report)
+                if idle_delay:
+                    yield sim.timeout(idle_delay)
+                continue
+            probe = Bio.read(pba, su)
+            probe.errors_as_status = True
+            onboard = yield volume.devices[parity_device].submit(probe)
+            if onboard.error is not None:
+                if isinstance(onboard.error, MediaError):
+                    report.parity_media_errors += 1
+                    volume.health.media_errors += 1
+                    volume._note_device_error(parity_device)
+                yield from _heal_parity_copy(volume, desc, stripe,
+                                             expected, report)
+            elif onboard.result != expected:
+                report.parity_mismatches += 1
+                yield from _heal_parity_copy(volume, desc, stripe,
+                                             expected, report)
+            if idle_delay:
+                yield sim.timeout(idle_delay)
+    report.data_heals = volume.health.heals - heals_before
+    return report
+
+
+def _heal_parity_copy(volume, desc, stripe: int, parity: bytes, report):
+    """Re-establish one stripe's parity: remember it in the relocated-
+    parity map and persist it to the parity device's partial-parity log
+    as a whole-stripe delta (offset 0), the same §5.2 path the write
+    datapath uses when a parity PBA is unusable."""
+    from .metadata import encode_partial_parity
+    zone = desc.zone
+    layout = volume.mapper.stripe_layout(zone, stripe)
+    volume.relocated_parity[(zone, stripe)] = parity
+    stripe_lba = desc.start_lba + stripe * desc.stripe_width
+    entry = encode_partial_parity(stripe_lba, stripe_lba + desc.stripe_width,
+                                  volume.generation[zone], 0, parity)
+    mdz = volume.mdzones[layout.parity_device]
+    if mdz is not None:
+        yield from mdz.append(MetadataRole.PARTIAL_PARITY, entry, fua=True)
+    volume.health.parity_heals += 1
+    report.parity_heals += 1
+
+
+def run_scrub(sim: Simulator, volume, idle_delay: float = 0.0) -> ScrubReport:
+    """Synchronously run one full scrub pass (drains the event loop)."""
+    report = ScrubReport()
+    process = sim.process(scrub_process(sim, volume, idle_delay, report))
+    sim.run()
+    if not process.triggered:
+        raise RaiznError("scrub never completed")
+    if not process.ok:
+        raise process.value
+    return report

@@ -63,6 +63,12 @@ class DeviceMetadataZones:
             MetadataRole.GENERAL: zone_indices[1],
         }
         self.swap_zones: List[int] = list(zone_indices[2:])
+        #: Zones (besides the role zone) holding the live checkpoint of a
+        #: role whose last GC spilled past one zone.  They stay out of the
+        #: swap pool — they hold the only durable copy of that metadata —
+        #: until the next rotation re-checkpoints them.
+        self.checkpoint_spill: Dict[MetadataRole, List[int]] = {
+            role: [] for role in MetadataRole}
         #: Mirror of bytes appended per metadata zone index.
         self.used: Dict[int, int] = {index: 0 for index in zone_indices}
         self._locks: Dict[MetadataRole, Lock] = {
@@ -203,34 +209,48 @@ class DeviceMetadataZones:
     # -- garbage collection (Figure 4) ----------------------------------------------
 
     def _rotate(self, role: MetadataRole):
-        """Swap in a fresh zone, checkpoint live metadata, reset the old zone."""
+        """Swap in a fresh zone, checkpoint live metadata, reset old zones.
+
+        A checkpoint larger than one zone — e.g. after heavy read-repair
+        relocated whole stripe units into the general log — spills into
+        further swap zones.  The spilled zones are tracked in
+        :attr:`checkpoint_spill` and reclaimed at the next rotation.
+        """
         if not self.swap_zones:
             raise MetadataError(
                 f"dev {self.device_index}: no swap zone available for "
                 f"metadata GC of {role.value}")
-        old_zone = self.role_zone[role]
-        new_zone = self.swap_zones.pop(0)
+        reclaim = [self.role_zone[role]] + self.checkpoint_spill[role]
+        self.checkpoint_spill[role] = []
         # Redirect new entries first so logging continues uninterrupted.
-        self.role_zone[role] = new_zone
-        # Checkpoint valid in-memory metadata into the new zone, flagged.
+        self.role_zone[role] = self.swap_zones.pop(0)
+        # Checkpoint valid in-memory metadata into the new zone(s), flagged.
         for entry in self.checkpoint_provider(role, self.device_index):
             entry.checkpoint = True
             encoded = entry.encode()
-            if self.used[new_zone] + len(encoded) > self.zone_capacity:
-                raise MetadataError(
-                    f"dev {self.device_index}: checkpoint does not fit in a "
-                    "fresh metadata zone; metadata zones are too small")
-            self.used[new_zone] += len(encoded)
+            if self.used[self.role_zone[role]] + len(encoded) > \
+                    self.zone_capacity:
+                if not self.swap_zones:
+                    raise MetadataError(
+                        f"dev {self.device_index}: checkpoint of "
+                        f"{role.value} does not fit in the available swap "
+                        "zones; metadata zones are too small")
+                self.checkpoint_spill[role].append(self.role_zone[role])
+                self.role_zone[role] = self.swap_zones.pop(0)
+            zone_index = self.role_zone[role]
+            self.used[zone_index] += len(encoded)
             yield self.device.submit(
-                Bio.zone_append(new_zone * self.zone_size, encoded))
+                Bio.zone_append(zone_index * self.zone_size, encoded))
         # Make the checkpoint durable before destroying the old logs: a
         # crash between the reset and an unflushed checkpoint would lose
         # metadata that existed nowhere else.
         yield self.device.submit(Bio.flush())
-        # The old zone's logs are now redundant; reset it into a swap zone.
-        yield self.device.submit(Bio.zone_reset(old_zone * self.zone_size))
-        self.used[old_zone] = 0
-        self.swap_zones.append(old_zone)
+        # The old zones' logs are now redundant; reset them into swap zones.
+        for old_zone in reclaim:
+            yield self.device.submit(
+                Bio.zone_reset(old_zone * self.zone_size))
+            self.used[old_zone] = 0
+            self.swap_zones.append(old_zone)
         self.gc_cycles += 1
 
     def force_gc(self, role: MetadataRole):
@@ -267,7 +287,14 @@ class DeviceMetadataZones:
     def all_zone_indices(self) -> List[int]:
         ordered = [self.role_zone[MetadataRole.PARTIAL_PARITY],
                    self.role_zone[MetadataRole.GENERAL]]
-        return ordered + list(self.swap_zones)
+        for zones in (self.checkpoint_spill[MetadataRole.PARTIAL_PARITY],
+                      self.checkpoint_spill[MetadataRole.GENERAL],
+                      self.swap_zones):
+            ordered.extend(z for z in zones if z not in ordered)
+        # ``used`` keys every metadata zone this device owns; the final
+        # sweep covers mid-rotation limbo states.
+        ordered.extend(z for z in self.used if z not in ordered)
+        return ordered
 
     def reset_all(self):
         """Process-style: reset every metadata zone (maintenance, §4.3)."""
@@ -286,25 +313,38 @@ class DeviceMetadataZones:
         crash at any point leaves either the old logs or a complete
         flushed checkpoint on media.
         """
-        target = min(self.all_zone_indices(), key=lambda z: self.used[z])
+        ordered = self.all_zone_indices()
+        # Fill the emptiest zones first (stable sort: ties keep their
+        # role/swap ordering, so a single-zone checkpoint lands exactly
+        # where it always has), spilling into the next-emptiest when
+        # needed, but keep at least two zones reclaimable: one for the
+        # partial-parity role and one swap zone.
+        by_used = sorted(ordered, key=lambda z: self.used[z])
+        limit = len(ordered) - 2
+        targets: List[int] = [by_used[0]]
         for role in (MetadataRole.GENERAL, MetadataRole.PARTIAL_PARITY):
             for entry in self.checkpoint_provider(role, self.device_index):
                 entry.checkpoint = True
                 encoded = entry.encode()
-                if self.used[target] + len(encoded) > self.zone_capacity:
-                    raise MetadataError(
-                        f"dev {self.device_index}: recovery checkpoint does "
-                        "not fit in the emptiest metadata zone")
-                self.used[target] += len(encoded)
+                if self.used[targets[-1]] + len(encoded) > \
+                        self.zone_capacity:
+                    if len(targets) >= limit:
+                        raise MetadataError(
+                            f"dev {self.device_index}: recovery checkpoint "
+                            "does not fit in the reclaimable metadata zones")
+                    targets.append(by_used[len(targets)])
+                self.used[targets[-1]] += len(encoded)
                 yield self.device.submit(
-                    Bio.zone_append(target * self.zone_size, encoded))
+                    Bio.zone_append(targets[-1] * self.zone_size, encoded))
         yield self.device.submit(Bio.flush())
-        others = [z for z in self.all_zone_indices() if z != target]
+        others = [z for z in ordered if z not in targets]
         for zone_index in others:
             yield self.device.submit(
                 Bio.zone_reset(zone_index * self.zone_size))
             self.used[zone_index] = 0
-        self.role_zone[MetadataRole.GENERAL] = target
+        self.role_zone[MetadataRole.GENERAL] = targets[-1]
         self.role_zone[MetadataRole.PARTIAL_PARITY] = others[0]
+        self.checkpoint_spill = {role: [] for role in MetadataRole}
+        self.checkpoint_spill[MetadataRole.GENERAL] = targets[:-1]
         self.swap_zones = others[1:]
         self.gc_cycles += 1

@@ -395,9 +395,14 @@ class _Recovery:
                          for i in range(volume.config.num_data)]
                 expected = stripe_parity(units, su)
                 if parity_wp >= pba + su:
+                    probe = _Bio.read(pba, su)
+                    # A latent media error on the parity PBA is itself a
+                    # mismatch — record the recomputed parity rather than
+                    # failing the mount.
+                    probe.errors_as_status = True
                     onboard = yield volume.devices[
-                        layout.parity_device].submit(_Bio.read(pba, su))
-                    if onboard.result == expected:
+                        layout.parity_device].submit(probe)
+                    if onboard.error is None and onboard.result == expected:
                         continue
                 volume.relocated_parity[(zone, stripe)] = expected
 

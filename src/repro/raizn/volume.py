@@ -22,10 +22,15 @@ from ..block.bio import Bio, BioFlags, Op
 from ..block.device import DeviceStats
 from ..errors import (
     DataLossError,
+    DegradedModeError,
     DeviceError,
+    DeviceFailedError,
     InvalidAddressError,
+    MediaError,
+    PowerLossError,
     RaiznError,
     ReadUnwrittenError,
+    TransientCommandError,
     VolumeStateError,
     WritePointerViolation,
     ZoneStateError,
@@ -65,6 +70,48 @@ class RebuildState:
         self.rebuilt_zones: Set[int] = set()
         self.bytes_rebuilt = 0
         self.done = False
+
+
+class HealthStats:
+    """Volume-level error and self-healing accounting.
+
+    Every counter is cumulative over the volume's lifetime; the errortest
+    harness reports them and the eviction policy consumes the per-device
+    counts kept separately in ``RaiznVolume.error_counts``.
+    """
+
+    def __init__(self) -> None:
+        #: Unrecoverable (UNC) media errors observed on reads.
+        self.media_errors = 0
+        #: Transient command failures that were retried.
+        self.transient_retries = 0
+        #: Transient command failures that exhausted their retry budget.
+        self.transient_escalations = 0
+        #: Zone wear-out transitions the datapath ran into (READ_ONLY or
+        #: OFFLINE physical zones discovered via a failing command).
+        self.wear_errors = 0
+        #: Stripe units reconstructed from redundancy and relocated so the
+        #: next read hits clean media (read-repair).
+        self.heals = 0
+        #: Parity stripe units recomputed and re-logged by the scrubber.
+        self.parity_heals = 0
+        #: Devices evicted into degraded mode by the error threshold.
+        self.evictions = 0
+        #: Reads served from corrupt media because read-repair was
+        #: disabled (only reachable with ``config.read_repair=False``).
+        self.unrepaired_serves = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "media_errors": self.media_errors,
+            "transient_retries": self.transient_retries,
+            "transient_escalations": self.transient_escalations,
+            "wear_errors": self.wear_errors,
+            "heals": self.heals,
+            "parity_heals": self.parity_heals,
+            "evictions": self.evictions,
+            "unrepaired_serves": self.unrepaired_serves,
+        }
 
 
 class RaiznVolume:
@@ -121,6 +168,10 @@ class RaiznVolume:
         #: Persisted via partial-parity log entries; keyed (zone, stripe).
         self.relocated_parity: Dict[Tuple[int, int], bytes] = {}
         self.failed: List[bool] = [dev is None for dev in self.devices]
+        #: Media/command errors charged per device; crossing
+        #: ``config.device_error_threshold`` evicts the device (§4.2).
+        self.error_counts: List[int] = [0] * config.num_devices
+        self.health = HealthStats()
         self.rebuild_state: Optional[RebuildState] = None
         self.read_only = False
         self.stats = DeviceStats()
@@ -224,6 +275,11 @@ class RaiznVolume:
     def _dispatch(self, bio: Bio, done: Event) -> None:
         bio.check_alignment()
         op = bio.op
+        if (op is Op.WRITE or op is Op.ZONE_APPEND or op is Op.READ) and \
+                self.failed.count(True) > self.config.num_parity:
+            raise DegradedModeError(
+                f"{self.failed.count(True)} devices unavailable; single "
+                "parity serves IO through at most one loss")
         if op is Op.WRITE or op is Op.ZONE_APPEND:
             if self.read_only:
                 raise VolumeStateError("volume is read-only")
@@ -265,6 +321,66 @@ class RaiznVolume:
     def _alive_devices(self) -> List[int]:
         return [i for i in range(len(self.devices)) if not self.failed[i]
                 and self.devices[i] is not None]
+
+    def _sync_phys_desc(self, index: int, zone: int) -> None:
+        """Refresh one physical zone descriptor from device truth.
+
+        Called after a command error: the volume's optimistic write
+        pointer may be ahead of what actually applied, and the zone may
+        have transitioned (wear-out) without the volume noticing.
+        """
+        dev = self.devices[index]
+        if dev is None:
+            return
+        info = dev.zone_info(zone)
+        pdesc = self.phys[index][zone]
+        pdesc.write_pointer = info.write_pointer
+        pdesc.state = info.state
+
+    def _note_device_error(self, index: int) -> None:
+        """Charge one error to a device; evict it past the threshold.
+
+        Eviction only happens while the array retains parity tolerance —
+        with redundancy already exhausted, the erroring device limps on
+        (an evicted second device would turn every stripe unreadable).
+        """
+        self.error_counts[index] += 1
+        if self.error_counts[index] < self.config.device_error_threshold:
+            return
+        if self.failed[index]:
+            return
+        if sum(self.failed) >= self.config.num_parity:
+            return
+        self.fail_device(index, remove=False)
+        self.health.evictions += 1
+
+    def _tolerant_zone_op(self, device: int, bio: Bio) -> Event:
+        """Submit a zone-management bio that tolerates wear-out races.
+
+        A ``ZoneStateError`` means the zone went READ_ONLY/OFFLINE between
+        the volume's descriptor check and the device's own — the zone is
+        already immutable, so the op's intent is moot; resync the
+        descriptor and count the completion as success.  Other errors
+        propagate normally.
+        """
+        bio.errors_as_status = True
+        outcome = Event(self.sim)
+        event = self.devices[device].submit(bio)
+
+        def on_done(ev: Event) -> None:
+            completed = ev.value
+            exc = completed.error
+            if exc is None:
+                outcome.succeed(completed)
+            elif isinstance(exc, ZoneStateError):
+                self.health.wear_errors += 1
+                self._sync_phys_desc(device,
+                                     completed.offset // self.phys_zone_size)
+                outcome.succeed(completed)
+            else:
+                outcome.fail(exc)
+        event.add_callback(on_done)
+        return outcome
 
     def _su_device(self, zone: int, su_index_in_zone: int) -> int:
         """Device holding data SU number ``su_index_in_zone`` of a zone."""
@@ -451,6 +567,14 @@ class RaiznVolume:
         if not self._device_available(device, zone):
             return  # degraded write: the missing SU is omitted (§4.2)
         pdesc = self.phys[device][zone]
+        if pdesc.state is ZoneState.READ_ONLY or \
+                pdesc.state is ZoneState.OFFLINE:
+            # The physical zone wore out (end-of-life transition); its
+            # write pointer is frozen, so every further piece for it is
+            # redirected to the metadata log like a §5.2 conflict.
+            self._relocate_write(desc, device, lba, piece, bool(sub_flags),
+                                 sub_events)
+            return
         if pdesc.write_pointer != pba or (
                 desc.has_relocations and
                 self.relocations.lookup(
@@ -468,8 +592,24 @@ class RaiznVolume:
                                  sub_events)
             return
         pdesc.write_pointer = pba + len(piece)
-        sub_events.append(self.devices[device].submit(
-            Bio.write(pba, piece, sub_flags)))
+
+        def redirect(outcome: Event) -> None:
+            # Wear-out discovered by the failing write itself: resync the
+            # descriptor from device truth and redirect this piece.
+            if not self._device_available(device, desc.zone):
+                outcome.succeed(None)  # degraded: omitted, parity covers it
+                return
+            redirected: List[Event] = []
+            try:
+                self._relocate_write(desc, device, lba, piece,
+                                     bool(sub_flags), redirected)
+            except (RaiznError, DeviceError) as exc:
+                outcome.fail(exc)
+                return
+            self._chain(redirected[0], outcome)
+
+        sub_events.append(self._protected_write(device, pba, piece,
+                                                sub_flags, redirect))
         if sub_flags:
             fua_devices.add(device)
 
@@ -492,6 +632,84 @@ class RaiznVolume:
             self.mdzones[device].append_async(MetadataRole.GENERAL, entry,
                                               fua=fua))
 
+    @staticmethod
+    def _chain(event: Event, outcome: Event) -> None:
+        """Forward ``event``'s completion (success or failure) to ``outcome``."""
+        def forward(ev: Event) -> None:
+            if ev.ok:
+                outcome.succeed(ev.value)
+            else:
+                outcome.fail(ev.value)
+        event.add_callback(forward)
+
+    def _protected_write(self, device: int, pba: int, piece: bytes,
+                         flags: int, redirect) -> Event:
+        """Device write with the self-healing error policy.
+
+        Transient command failures are retried up to
+        ``config.max_transient_retries`` times with a simulated backoff;
+        a zone-state failure (wear-out discovered mid-write) resyncs the
+        physical descriptor and hands the piece to ``redirect(outcome)``;
+        a failed device degrades the write (§4.2: the piece is omitted
+        and parity covers it).  Anything else fails the outcome.
+        """
+        outcome = Event(self.sim)
+        self._attempt_write(device, pba, piece, flags, redirect, outcome, 0)
+        return outcome
+
+    def _attempt_write(self, device: int, pba: int, piece: bytes, flags: int,
+                       redirect, outcome: Event, attempt: int) -> None:
+        bio = Bio.write(pba, piece, flags)
+        bio.errors_as_status = True
+        event = self.devices[device].submit(bio)
+        event.add_callback(
+            lambda ev: self._write_attempted(ev, device, pba, piece, flags,
+                                             redirect, outcome, attempt))
+
+    def _write_attempted(self, event: Event, device: int, pba: int,
+                         piece: bytes, flags: int, redirect, outcome: Event,
+                         attempt: int) -> None:
+        bio = event.value
+        exc = bio.error
+        if exc is None:
+            outcome.succeed(bio)
+            return
+        if isinstance(exc, (TransientCommandError, WritePointerViolation)):
+            # A WritePointerViolation here is collateral of a transient
+            # fault on an *earlier* piece of the same zone: that piece was
+            # rejected at submission (device pointer not advanced), so this
+            # piece arrived ahead of the pointer.  The earlier piece's
+            # retry fires first (same backoff, scheduled earlier), after
+            # which this retry lands at the right pointer — mirroring the
+            # kernel's zone-write requeue ordering.
+            if attempt < self.config.max_transient_retries:
+                self.health.transient_retries += 1
+                self.sim.schedule(self.config.transient_backoff_s,
+                                  self._attempt_write, device, pba, piece,
+                                  flags, redirect, outcome, attempt + 1)
+                return
+            self.health.transient_escalations += 1
+            self._note_device_error(device)
+            outcome.fail(exc)
+            return
+        if isinstance(exc, ZoneStateError):
+            self.health.wear_errors += 1
+            self._note_device_error(device)
+            self._sync_phys_desc(device, pba // self.phys_zone_size)
+            redirect(outcome)
+            return
+        if isinstance(exc, (DeviceFailedError, PowerLossError)):
+            if isinstance(exc, DeviceFailedError) and not self.failed[device]:
+                try:
+                    self.fail_device(device, remove=False)
+                except DataLossError as loss:
+                    outcome.fail(loss)
+                    return
+            if self.failed[device]:
+                outcome.succeed(bio)  # degraded write: piece omitted (§4.2)
+                return
+        outcome.fail(exc)
+
     def _emit_full_parity(self, desc: LogicalZoneDesc, stripe: int, layout,
                           buffer: StripeBuffer, in_stripe: int, chunk: bytes,
                           sub_flags: int, sub_events: List[Event],
@@ -503,18 +721,39 @@ class RaiznVolume:
         pba = desc.zone * self.phys_zone_size + \
             stripe * self.config.stripe_unit_bytes
         pdesc = self.phys[device][desc.zone]
-        if pdesc.write_pointer != pba:
+        if pdesc.write_pointer != pba or \
+                pdesc.state is ZoneState.READ_ONLY or \
+                pdesc.state is ZoneState.OFFLINE:
             # The parity SU's PBA conflicts with stale data (§5.2 after a
-            # rollback recovery).  Keep the full parity in memory and log
-            # the completing segment's delta to the partial-parity zone —
-            # XOR of all the stripe's deltas equals the full parity.
+            # rollback recovery) or the zone wore out.  Keep the full
+            # parity in memory and log the completing segment's delta to
+            # the partial-parity zone — XOR of all the stripe's deltas
+            # equals the full parity.
             self.relocated_parity[(desc.zone, stripe)] = parity
             self._emit_partial_parity(desc, stripe, layout, in_stripe,
                                       chunk, bool(sub_flags), sub_events)
             return
         pdesc.write_pointer = pba + len(parity)
-        sub_events.append(self.devices[device].submit(
-            Bio.write(pba, parity, sub_flags)))
+
+        def redirect(outcome: Event) -> None:
+            # Wear-out discovered by the parity write itself: the true
+            # parity survives in memory plus one cumulative log entry
+            # covering the whole stripe (same shape the metadata-GC
+            # checkpoint uses for relocated parity).
+            if not self._device_available(device, desc.zone):
+                outcome.succeed(None)
+                return
+            self.relocated_parity[(desc.zone, stripe)] = parity
+            stripe_lba = desc.start_lba + stripe * desc.stripe_width
+            entry = encode_partial_parity(
+                stripe_lba, stripe_lba + desc.stripe_width,
+                self.generation[desc.zone], 0, parity)
+            self._chain(self.mdzones[device].append_async(
+                MetadataRole.PARTIAL_PARITY, entry, fua=bool(sub_flags)),
+                outcome)
+
+        sub_events.append(self._protected_write(device, pba, parity,
+                                                sub_flags, redirect))
         if sub_flags:
             fua_devices.add(device)
 
@@ -649,24 +888,186 @@ class RaiznVolume:
                 overlaps = unit.overlaps(lba, length)
                 if overlaps == [(0, length)]:
                     return unit.read(lba, length)
-                if overlaps:
+                if overlaps and \
+                        self._device_available(device, desc.zone) and \
+                        self.phys[device][desc.zone].state \
+                        is not ZoneState.OFFLINE:
                     return self._stitched_read_piece(
                         unit, overlaps, device, pba, lba, length, desc,
                         events, chunks, index)
+                # Partially relocated but the on-device gap bytes are
+                # unreadable (device lost or zone OFFLINE): fall through —
+                # the protected/degraded machinery reconstructs the whole
+                # range from redundancy.
         if self._device_available(device, desc.zone):
-            event = self.devices[device].submit(Bio.read(pba, length))
-            event.add_callback(self._make_piece_cb(chunks, index))
-            events.append(event)
+            events.append(self._protected_read(device, pba, lba, length,
+                                               desc, chunks, index))
             return None
         return self._degraded_read_piece(device, pba, lba, length, desc,
                                          events, chunks, index)
 
-    @staticmethod
-    def _make_piece_cb(chunks: List[Optional[bytes]], index: int):
-        def on_done(event: Event) -> None:
-            if event.ok:
-                chunks[index] = event.value.result
-        return on_done
+    # -- self-healing device reads ------------------------------------------------
+
+    def _protected_read(self, device: int, pba: int, lba: int, length: int,
+                        desc: LogicalZoneDesc,
+                        chunks: List[Optional[bytes]], index: int) -> Event:
+        """Device read with the self-healing error policy.
+
+        Transient command failures get a bounded retry with simulated
+        backoff; a media (UNC) error triggers read-repair — the stripe
+        unit is reconstructed from the surviving devices plus parity and
+        relocated so the next read hits clean media (§5.2 machinery); a
+        wear-out (offline zone) or failed device degrades the read to
+        reconstruction.  The returned event completes when the piece has
+        been delivered into ``chunks[index]``.
+        """
+        outcome = Event(self.sim)
+        self._attempt_read(device, pba, lba, length, desc, chunks, index,
+                           outcome, 0)
+        return outcome
+
+    def _attempt_read(self, device: int, pba: int, lba: int, length: int,
+                      desc: LogicalZoneDesc, chunks: List[Optional[bytes]],
+                      index: int, outcome: Event, attempt: int) -> None:
+        bio = Bio.read(pba, length)
+        bio.errors_as_status = True
+        event = self.devices[device].submit(bio)
+        event.add_callback(
+            lambda ev: self._read_attempted(ev, device, pba, lba, length,
+                                            desc, chunks, index, outcome,
+                                            attempt))
+
+    def _read_attempted(self, event: Event, device: int, pba: int, lba: int,
+                        length: int, desc: LogicalZoneDesc,
+                        chunks: List[Optional[bytes]], index: int,
+                        outcome: Event, attempt: int) -> None:
+        bio = event.value
+        exc = bio.error
+        if exc is None:
+            chunks[index] = bio.result
+            outcome.succeed(bio)
+            return
+        if isinstance(exc, TransientCommandError):
+            if attempt < self.config.max_transient_retries:
+                self.health.transient_retries += 1
+                self.sim.schedule(self.config.transient_backoff_s,
+                                  self._attempt_read, device, pba, lba,
+                                  length, desc, chunks, index, outcome,
+                                  attempt + 1)
+                return
+            # Retries exhausted: charge the device and serve the read
+            # from redundancy instead of failing it.
+            self.health.transient_escalations += 1
+            self._note_device_error(device)
+        elif isinstance(exc, MediaError):
+            self.health.media_errors += 1
+            if not self.config.read_repair:
+                # Detection-power path: serve the corrupt media view the
+                # way an unprotected consumer would have seen it.
+                self.health.unrepaired_serves += 1
+                chunks[index] = bio.result
+                outcome.succeed(bio)
+                return
+            self._note_device_error(device)
+            if not self.failed[device]:
+                self._heal_and_serve(device, lba, length, desc, chunks,
+                                     index, outcome)
+                return
+            # The charge just evicted the device; fall through to plain
+            # reconstruction (no relocation log left to heal into).
+        elif isinstance(exc, ZoneStateError):
+            # The physical zone went OFFLINE (end-of-life): its media is
+            # gone for good, so reconstruct *and* relocate like a media
+            # error.
+            self.health.wear_errors += 1
+            self._note_device_error(device)
+            self._sync_phys_desc(device, desc.zone)
+            if not self.failed[device]:
+                self._heal_and_serve(device, lba, length, desc, chunks,
+                                     index, outcome)
+                return
+        elif isinstance(exc, DeviceFailedError) and not self.failed[device]:
+            try:
+                self.fail_device(device, remove=False)
+            except DataLossError as loss:
+                outcome.fail(loss)
+                return
+        # Unavailable device (failed, evicted, or powered off): serve the
+        # piece degraded from the surviving devices plus parity.
+        sub_events: List[Event] = []
+        try:
+            served = self._degraded_read_piece(device, pba, lba, length,
+                                               desc, sub_events, chunks,
+                                               index)
+        except (RaiznError, DeviceError) as degraded_exc:
+            outcome.fail(degraded_exc)
+            return
+        if served is not None:
+            chunks[index] = served
+            outcome.succeed(None)
+        else:
+            self._chain(sub_events[0], outcome)
+
+    def _heal_and_serve(self, device: int, lba: int, length: int,
+                        desc: LogicalZoneDesc,
+                        chunks: List[Optional[bytes]], index: int,
+                        outcome: Event) -> None:
+        """Read-repair: reconstruct the whole written extent of the SU,
+        relocate it (persisted in the device's metadata log, §5.2), and
+        serve the requested range from the reconstruction."""
+        su = self.config.stripe_unit_bytes
+        zone = desc.zone
+        in_zone = lba - desc.start_lba
+        stripe = in_zone // desc.stripe_width
+        buffer = desc.buffers.get(stripe)
+        if buffer is not None:
+            # Incomplete tail stripe: the stripe buffer still holds the
+            # data; serve from memory and let a future read of the sealed
+            # stripe do the durable heal.
+            stripe_offset = in_zone % desc.stripe_width
+            chunks[index] = bytes(
+                buffer.data[stripe_offset:stripe_offset + length])
+            outcome.succeed(None)
+            return
+        su_lba = lba - (lba % su)
+        in_su = lba - su_lba
+        su_pba = zone * self.phys_zone_size + stripe * su
+        written = min(su, self.phys[device][zone].write_pointer - su_pba)
+        if written < in_su + length:
+            # A worn zone's frozen pointer can sit below the data we know
+            # was written; reconstruct at least the requested range.
+            written = in_su + length
+        accumulator = bytearray(written)
+        try:
+            sources = self._reconstruct_sources(device, zone, stripe, 0,
+                                                written, accumulator)
+        except (RaiznError, DeviceError) as exc:
+            outcome.fail(exc)
+            return
+        gather = self.sim.gather(sources)
+        gather.add_callback(
+            lambda ev: self._healed(ev, device, su_lba, accumulator, desc,
+                                    chunks, index, in_su, length, outcome))
+
+    def _healed(self, gather: Event, device: int, su_lba: int,
+                accumulator: bytearray, desc: LogicalZoneDesc,
+                chunks: List[Optional[bytes]], index: int, in_su: int,
+                length: int, outcome: Event) -> None:
+        if not gather.ok:
+            outcome.fail(gather.value)
+            return
+        data = bytes(accumulator)
+        zone = desc.zone
+        unit = self.relocations.unit_for(su_lba, device, zone)
+        unit.write(su_lba, data)
+        desc.has_relocations = True
+        self.health.heals += 1
+        chunks[index] = data[in_su:in_su + length]
+        # The original bytes may have been acknowledged durable (FUA), so
+        # the healed copy is persisted FUA before the read completes.
+        entry = encode_relocated_su(su_lba, data, self.generation[zone])
+        self._chain(self.mdzones[device].append_async(
+            MetadataRole.GENERAL, entry, fua=True), outcome)
 
     def _stitched_read_piece(self, unit, overlaps, device: int, pba: int,
                              lba: int, length: int, desc: LogicalZoneDesc,
@@ -695,15 +1096,19 @@ class RaiznVolume:
             gaps.append((cursor, length))
         for gap_lo, gap_hi in gaps:
             if not self._device_available(device, desc.zone):
-                raise DataLossError(
+                raise DegradedModeError(
                     "cannot read non-relocated bytes of a relocated stripe "
                     "unit on an unavailable device")
-            event = self.devices[device].submit(
-                Bio.read(pba + gap_lo, gap_hi - gap_lo))
+            # Gap bytes go through the same self-healing policy as whole
+            # pieces: retry transients, read-repair media errors.
+            slot: List[Optional[bytes]] = [None]
+            event = self._protected_read(device, pba + gap_lo, lba + gap_lo,
+                                         gap_hi - gap_lo, desc, slot, 0)
 
-            def on_gap(ev: Event, lo: int = gap_lo, hi: int = gap_hi) -> None:
-                if ev.ok:
-                    container[lo:hi] = ev.value.result
+            def on_gap(ev: Event, lo: int = gap_lo, hi: int = gap_hi,
+                       filled: List[Optional[bytes]] = slot) -> None:
+                if ev.ok and filled[0] is not None:
+                    container[lo:hi] = filled[0]
             event.add_callback(on_gap)
             gap_events.append(event)
         if not gap_events:
@@ -733,15 +1138,37 @@ class RaiznVolume:
             # Incomplete tail stripe: the stripe buffer has the data.
             stripe_offset = in_zone % desc.stripe_width
             return bytes(buffer.data[stripe_offset:stripe_offset + length])
+        accumulator = bytearray(length)
+        sources = self._reconstruct_sources(device, zone, stripe, in_su,
+                                            length, accumulator)
+        gather = self.sim.gather(sources)
+
+        def on_sources(event: Event) -> None:
+            if event.ok:
+                chunks[index] = bytes(accumulator)
+        gather.add_callback(on_sources)
+        events.append(gather)
+        return None
+
+    def _reconstruct_sources(self, device: int, zone: int, stripe: int,
+                             in_su: int, length: int,
+                             accumulator: bytearray) -> List[Event]:
+        """XOR-fold every surviving source of one SU range into ``accumulator``.
+
+        Returns the source read events; the accumulator holds the
+        reconstruction once all of them have completed.  Raises
+        ``DegradedModeError`` when a second device is unavailable — single
+        parity cannot reconstruct through two losses.
+        """
+        su = self.config.stripe_unit_bytes
         layout = self.mapper.stripe_layout(zone, stripe)
         sources: List[Event] = []
-        accumulator = bytearray(length)
         relocated = self.relocated_parity.get((zone, stripe))
         for other in range(self.config.num_devices):
             if other == device:
                 continue
             if not self._device_available(other, zone):
-                raise DataLossError(
+                raise DegradedModeError(
                     f"two unavailable devices ({device}, {other}); "
                     "single parity cannot reconstruct")
             if other == layout.parity_device and relocated is not None:
@@ -768,21 +1195,45 @@ class RaiznVolume:
             take = max(0, min(length, available))
             if take == 0:
                 continue
-            event = self.devices[other].submit(Bio.read(other_pba, take))
+            sources.append(
+                self._source_read(other, other_pba, take, accumulator))
+        return sources
 
-            def fold(ev: Event, acc: bytearray = accumulator) -> None:
-                if ev.ok:
-                    xor_into(acc, ev.value.result)
-            event.add_callback(fold)
-            sources.append(event)
-        gather = self.sim.gather(sources)
+    def _source_read(self, device: int, pba: int, length: int,
+                     accumulator: bytearray) -> Event:
+        """Survivor read feeding a reconstruction, with transient retry.
 
-        def on_sources(event: Event) -> None:
-            if event.ok:
-                chunks[index] = bytes(accumulator)
-        gather.add_callback(on_sources)
-        events.append(gather)
-        return None
+        Transient command failures are retried like any protected read;
+        any other error (a media error on a survivor is a double fault)
+        fails the reconstruction loudly.
+        """
+        outcome = Event(self.sim)
+        self._attempt_source_read(device, pba, length, accumulator,
+                                  outcome, 0)
+        return outcome
+
+    def _attempt_source_read(self, device: int, pba: int, length: int,
+                             accumulator: bytearray, outcome: Event,
+                             attempt: int) -> None:
+        bio = Bio.read(pba, length)
+        bio.errors_as_status = True
+        event = self.devices[device].submit(bio)
+
+        def done(ev: Event) -> None:
+            completed = ev.value
+            exc = completed.error
+            if exc is None:
+                xor_into(accumulator, completed.result)
+                outcome.succeed(completed)
+            elif isinstance(exc, TransientCommandError) and \
+                    attempt < self.config.max_transient_retries:
+                self.health.transient_retries += 1
+                self.sim.schedule(self.config.transient_backoff_s,
+                                  self._attempt_source_read, device, pba,
+                                  length, accumulator, outcome, attempt + 1)
+            else:
+                outcome.fail(exc)
+        event.add_callback(done)
 
     # ------------------------------------------------------------------ flush
 
@@ -844,12 +1295,18 @@ class RaiznVolume:
                     wal_events.append(self.mdzones[device].append_async(
                         MetadataRole.GENERAL, entry, fua=True))
             yield self.sim.all_of(wal_events)
-            # Reset every physical zone in the logical zone.
+            # Reset every physical zone in the logical zone.  Worn-out
+            # zones (READ_ONLY/OFFLINE) cannot be reset by spec; they are
+            # skipped and keep their frozen state — post-reset writes
+            # landing on them redirect through the relocation path.
             reset_events = []
             for device in self._alive_devices():
-                reset_events.append(self.devices[device].submit(
-                    Bio.zone_reset(zone * self.phys_zone_size)))
                 pdesc = self.phys[device][zone]
+                if pdesc.state is ZoneState.READ_ONLY or \
+                        pdesc.state is ZoneState.OFFLINE:
+                    continue
+                reset_events.append(self._tolerant_zone_op(
+                    device, Bio.zone_reset(zone * self.phys_zone_size)))
                 pdesc.write_pointer = zone * self.phys_zone_size
                 pdesc.state = ZoneState.EMPTY
             yield self.sim.all_of(reset_events)
@@ -911,21 +1368,30 @@ class RaiznVolume:
                         pba = zone * self.phys_zone_size + \
                             buffer.stripe * self.config.stripe_unit_bytes
                         pdesc = self.phys[device][zone]
-                        if pdesc.write_pointer == pba:
+                        if pdesc.write_pointer == pba and \
+                                pdesc.state is not ZoneState.READ_ONLY and \
+                                pdesc.state is not ZoneState.OFFLINE:
                             pdesc.write_pointer = pba + len(parity)
                             events.append(self.devices[device].submit(
                                 Bio.write(pba, parity)))
                         else:
-                            # Conflicting parity PBA: the delta logs
-                            # already cover the tail stripe; keep the
-                            # sealed parity in memory (§5.2).
+                            # Conflicting parity PBA (or a worn-out parity
+                            # zone): the delta logs already cover the tail
+                            # stripe; keep the sealed parity in memory
+                            # (§5.2).
                             self.relocated_parity[
                                 (zone, buffer.stripe)] = parity
                 desc.buffers.release(buffer.stripe)
             for device in self._alive_devices():
-                events.append(self.devices[device].submit(
-                    Bio.zone_finish(zone * self.phys_zone_size)))
-                self.phys[device][zone].state = ZoneState.FULL
+                pdesc = self.phys[device][zone]
+                if pdesc.state is ZoneState.READ_ONLY or \
+                        pdesc.state is ZoneState.OFFLINE:
+                    # A worn-out physical zone is already immutable; there
+                    # is nothing left to finish on it.
+                    continue
+                events.append(self._tolerant_zone_op(
+                    device, Bio.zone_finish(zone * self.phys_zone_size)))
+                pdesc.state = ZoneState.FULL
             yield self.sim.all_of(events)
         except DeviceError as exc:
             done.fail(exc)

@@ -21,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..errors import (
     InvalidAddressError,
+    MediaError,
     OpenZoneLimitError,
     ReadUnwrittenError,
     WritePointerViolation,
@@ -81,6 +82,11 @@ class ZNSDevice(BlockDevice):
         #: i.e. holding data only in the write cache.  Kept exact so flush
         #: snapshots are O(dirty zones) instead of O(all zones).
         self._dirty_zones: Set[int] = set()
+        #: Latent-error (UNC) extents per zone index, as ``(start, end)``
+        #: absolute byte spans.  Reads intersecting one raise MediaError;
+        #: the empty dict costs nothing on the read hot path beyond one
+        #: dict lookup.
+        self._bad_extents: Dict[int, List[Tuple[int, int]]] = {}
 
     # -- address helpers --------------------------------------------------------
 
@@ -196,6 +202,16 @@ class ZNSDevice(BlockDevice):
         # without a zone reset — and consumers materialize ``bytes`` at the
         # user-visible boundary (RaiznVolume joins pieces into bytes).
         bio.result = memoryview(self._media)[bio.offset:bio.end_offset]
+        extents = self._bad_extents.get(zone.index)
+        if extents:
+            for start, end in extents:
+                if start < bio.end_offset and bio.offset < end:
+                    # The corrupt view stays in ``bio.result`` so harnesses
+                    # can show what an unprotected read would have returned.
+                    raise MediaError(
+                        f"{self.name}: unrecoverable media error in "
+                        f"[{start:#x},{end:#x}) of zone {zone.index}",
+                        device=self.name, offset=start, length=end - start)
         return 0.0
 
     def _check_write(self, bio: Bio) -> Zone:
@@ -289,6 +305,9 @@ class ZNSDevice(BlockDevice):
         # rolls back — so nothing can observe them, and zero-filling the
         # whole zone dominated reset-heavy workloads.
         self._dirty_zones.discard(zone.index)
+        # An erase block rewrite clears grown media defects for our model:
+        # a reset zone starts over with clean media.
+        self._bad_extents.pop(zone.index, None)
         return 0.0
 
     def _apply_finish(self, bio: Bio) -> float:
@@ -439,6 +458,16 @@ class ZNSDevice(BlockDevice):
             self._media[survivor:zone.write_pointer] = bytes(
                 zone.write_pointer - survivor)
             zone.write_pointer = survivor
+            extents = self._bad_extents.get(zone.index)
+            if extents:
+                # Rolled-back spans were zeroed above; only the surviving
+                # prefix of each defect remains corrupt media.
+                clipped = [(s, min(e, survivor))
+                           for s, e in extents if s < survivor]
+                if clipped:
+                    self._bad_extents[zone.index] = clipped
+                else:
+                    del self._bad_extents[zone.index]
         zone.durable_pointer = survivor
         self._dirty_zones.discard(zone.index)
         if zone.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
@@ -479,12 +508,16 @@ class ZNSDevice(BlockDevice):
             self.powered,
             self.failed,
             self._rng.getstate(),
+            {index: list(extents)
+             for index, extents in self._bad_extents.items()},
         )
 
     def restore_crash_snapshot(self, snapshot: Tuple) -> None:
         """Restore state captured by :meth:`crash_snapshot` (quiescent IO)."""
-        (zones, open_count, active_count, dirty, powered, failed,
-         rng_state) = snapshot
+        zones, open_count, active_count, dirty, powered, failed, rng_state = \
+            snapshot[:7]
+        # Snapshots predating latent-error support carry no extent map.
+        bad = snapshot[7] if len(snapshot) > 7 else {}
         for zone, (state, wp, dp, lwt, fbc, prefix) in zip(self.zones, zones):
             zone.state = state
             zone.write_pointer = wp
@@ -498,10 +531,38 @@ class ZNSDevice(BlockDevice):
         self.powered = powered
         self.failed = failed
         self._rng.setstate(rng_state)
+        self._bad_extents = {index: list(extents)
+                             for index, extents in bad.items()}
         # A drained event loop leaves no channel holders; reset defensively
         # so a restored device never inherits a stale grant.
         self.channels.in_use = 0
         self.channels._waiters.clear()
+
+    def mark_bad(self, offset: int, length: int) -> None:
+        """Inject a latent (UNC) media error over ``[offset, offset+length)``.
+
+        The span must stay inside one zone.  The stored bytes are bit
+        flipped — so a consumer that ignores the error status observably
+        reads *wrong* data, not just an error — and every subsequent read
+        intersecting the span raises :class:`MediaError` until the zone is
+        reset (or the span is rolled back by a power cut).
+        """
+        if length <= 0:
+            raise InvalidAddressError("bad extent needs a positive length")
+        zone = self.zone_at(offset)
+        if offset + length > zone.start + self.zone_size:
+            raise InvalidAddressError(
+                f"{self.name}: bad extent crosses zone boundary at "
+                f"{offset:#x}")
+        span = memoryview(self._media)[offset:offset + length]
+        for i in range(len(span)):
+            span[i] ^= 0xFF
+        self._bad_extents.setdefault(zone.index, []).append(
+            (offset, offset + length))
+
+    def bad_extents(self, index: int) -> List[Tuple[int, int]]:
+        """The injected UNC spans currently live in zone ``index``."""
+        return list(self._bad_extents.get(index, ()))
 
     def set_zone_read_only(self, index: int) -> None:
         """Inject an end-of-life READ_ONLY transition for zone ``index``."""

@@ -1,0 +1,64 @@
+"""The errortest campaign harness: integrity, determinism, detection."""
+
+import json
+
+from repro.harness.errortest import (
+    detection_power,
+    run_campaign,
+    run_errortest,
+    write_report,
+)
+
+
+class TestSmokeCampaign:
+    def test_smoke_campaign_passes(self):
+        result = run_errortest(seed=0, smoke=True)
+        assert result["passed"]
+        assert result["corruptions"] == 0
+        assert result["violations"] == []
+        assert result["injected"]["total"] >= result["min_faults"] >= 20
+        assert result["eviction"]["evicted"]
+        assert result["rebuild"]["bytes_written"] > 0
+        assert result["detection_power"]["caught"]
+
+    def test_campaign_exercises_every_fault_class(self):
+        report = run_campaign(seed=0, smoke=True)
+        injected = report.injected
+        assert injected["latent"] > 0
+        assert injected["transient"] > 0
+        assert injected["wear"] > 0
+        assert report.health["heals"] > 0
+        assert report.health["transient_retries"] > 0
+        # Three verification passes: post-scrub, degraded, post-rebuild.
+        labels = [v["label"] for v in report.verify_passes]
+        assert labels == ["post-scrub", "degraded", "post-rebuild"]
+        assert all(v["corruptions"] == 0 for v in report.verify_passes)
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        first = run_campaign(seed=3, smoke=True).to_dict()
+        second = run_campaign(seed=3, smoke=True).to_dict()
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        first = run_campaign(seed=0, smoke=True).to_dict()
+        second = run_campaign(seed=1, smoke=True).to_dict()
+        assert first["injected"] != second["injected"]
+
+
+class TestDetectionPower:
+    def test_oracle_catches_unrepaired_corruption(self):
+        result = detection_power(seed=1)
+        assert result["caught"]
+        assert result["corruptions"] > 0
+        assert result["unrepaired_serves"] > 0
+
+
+class TestReportFile:
+    def test_write_report_round_trips(self, tmp_path):
+        report = run_campaign(seed=2, smoke=True).to_dict()
+        path = tmp_path / "errortest.json"
+        write_report(report, str(path))
+        with open(path) as fh:
+            assert json.load(fh) == report

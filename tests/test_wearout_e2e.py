@@ -1,0 +1,88 @@
+"""End-of-life zone wear-out (§2.1) absorbed by the volume datapath."""
+
+from repro.block import Bio
+from repro.faults import FaultPlan, wear_out_zone
+from repro.zns import ZoneState
+
+from conftest import TEST_STRIPE_UNIT, make_volume, pattern
+
+SU = TEST_STRIPE_UNIT
+STRIPE = 4 * SU
+
+
+class TestWornZoneWrites:
+    def test_writes_redirect_around_read_only_zone(self, sim):
+        volume, devices = make_volume(sim)
+        first = pattern(2 * STRIPE, seed=1)
+        volume.execute(Bio.write(0, first))
+        wear_out_zone(devices[1], 0, offline=False)
+        more = pattern(4 * STRIPE, seed=2)
+        volume.execute(Bio.write(2 * STRIPE, more))
+        assert volume.health.wear_errors >= 1
+        assert volume.execute(Bio.read(0, 2 * STRIPE)).result == first
+        assert volume.execute(Bio.read(2 * STRIPE, len(more))).result == more
+
+    def test_writes_redirect_around_offline_zone(self, sim):
+        volume, devices = make_volume(sim)
+        first = pattern(STRIPE, seed=3)
+        volume.execute(Bio.write(0, first))
+        wear_out_zone(devices[3], 0, offline=True)
+        more = pattern(3 * STRIPE, seed=4)
+        volume.execute(Bio.write(STRIPE, more))
+        # OFFLINE loses the already-written bytes too; parity covers them.
+        assert volume.execute(Bio.read(0, STRIPE)).result == first
+        assert volume.execute(Bio.read(STRIPE, len(more))).result == more
+
+
+class TestWornZoneReads:
+    def test_offline_zone_reads_reconstruct(self, sim):
+        volume, devices = make_volume(sim)
+        data = pattern(4 * STRIPE, seed=5)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.flush())
+        wear_out_zone(devices[2], 0, offline=True)
+        assert volume.execute(Bio.read(0, len(data))).result == data
+
+    def test_read_only_zone_still_serves_reads(self, sim):
+        volume, devices = make_volume(sim)
+        data = pattern(4 * STRIPE, seed=6)
+        volume.execute(Bio.write(0, data))
+        wear_out_zone(devices[2], 0, offline=False)
+        before = volume.health.heals
+        assert volume.execute(Bio.read(0, len(data))).result == data
+        # READ_ONLY media is intact: no reconstruction was needed.
+        assert volume.health.heals == before
+
+
+class TestWornZoneReset:
+    def test_logical_reset_survives_worn_member(self, sim):
+        volume, devices = make_volume(sim)
+        volume.execute(Bio.write(0, pattern(4 * STRIPE, seed=7)))
+        wear_out_zone(devices[0], 0, offline=False)
+        volume.execute(Bio.zone_reset(0))
+        fresh = pattern(3 * STRIPE, seed=8)
+        volume.execute(Bio.write(0, fresh))
+        assert volume.execute(Bio.read(0, len(fresh))).result == fresh
+        assert devices[0].zone_info(0).state is ZoneState.READ_ONLY
+
+
+class TestFaultPlanWearEndToEnd:
+    def test_wear_mid_workload_keeps_data_intact(self, sim):
+        volume, devices = make_volume(sim)
+        plan = FaultPlan(num_data_zones=volume.num_data_zones,
+                         stripe_unit_bytes=SU,
+                         wear_victims=[(1, 0, False), (4, 0, True)],
+                         wear_after_writes=3)
+        plan.arm(devices)
+        chunks = [pattern(STRIPE, seed=10 + i) for i in range(8)]
+        for i, chunk in enumerate(chunks):
+            volume.execute(Bio.write(i * STRIPE, chunk))
+        volume.execute(Bio.flush())
+        plan.disarm()
+        assert plan.counts.wear == 2
+        assert devices[1].zone_info(0).state is ZoneState.READ_ONLY
+        assert devices[4].zone_info(0).state is ZoneState.OFFLINE
+        assert volume.health.wear_errors >= 2
+        for i, chunk in enumerate(chunks):
+            assert volume.execute(Bio.read(i * STRIPE, STRIPE)).result \
+                == chunk

@@ -84,6 +84,12 @@ class BlockDevice:
         #: delivered and nothing after; the crash-point explorer uses this
         #: to snapshot array state at every completion boundary.
         self.completion_hook = None
+        #: Optional fail-slow hook: called as ``hook(device, bio)`` at the
+        #: channel-grant point, returning extra seconds of channel
+        #: occupancy for this command.  The delay holds the channel, so a
+        #: gray-failing device also inflicts queueing delay on commands
+        #: behind the slow one (see :mod:`repro.faults.failslow`).
+        self.service_delay_hook = None
 
     # -- the public IO interface ----------------------------------------------
 
@@ -165,6 +171,8 @@ class BlockDevice:
     def _grant(self, bio: Bio, extra_time: float, done: Event) -> None:
         """A channel is ours: hold it for the occupancy time."""
         occupancy = self.model.occupancy_time(bio.op, bio.length, self._rng)
+        if self.service_delay_hook is not None:
+            occupancy += self.service_delay_hook(self, bio)
         self.sim.schedule(occupancy + extra_time, self._channel_done, bio, done)
 
     def _channel_done(self, bio: Bio, done: Event) -> None:

@@ -1,4 +1,11 @@
-"""Fault injection: power loss, crash points, device failures."""
+"""Fault injection: power loss, crash points, device failures, fail-slow.
+
+The fail-slow (gray-failure) exports mirror the errinject pair:
+:class:`SlowPlan` is the armable seeded plan, :class:`SlowCounts` its
+injection tally, and :class:`SlowDeviceSpec` the per-device degradation
+shape — with :func:`degraded_device` / :func:`stalling_device` /
+:func:`ramping_device` as shorthand spec constructors.
+"""
 
 from .crashpoints import (
     CompletionBoundaries,
@@ -11,6 +18,14 @@ from .crashpoints import (
 )
 from .devicefail import fail_and_rebuild, fresh_replacement, wear_out_zone
 from .errinject import FaultCounts, FaultPlan
+from .failslow import (
+    SlowCounts,
+    SlowDeviceSpec,
+    SlowPlan,
+    degraded_device,
+    ramping_device,
+    stalling_device,
+)
 from .oracle import (
     WorkloadExpectation,
     ZoneExpectation,
@@ -33,6 +48,12 @@ __all__ = [
     "wear_out_zone",
     "FaultCounts",
     "FaultPlan",
+    "SlowCounts",
+    "SlowDeviceSpec",
+    "SlowPlan",
+    "degraded_device",
+    "ramping_device",
+    "stalling_device",
     "CompletionBoundaries",
     "apply_survivor_assignment",
     "array_crash_snapshot",

@@ -9,7 +9,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from ..units import KiB, MiB
 from . import (
@@ -197,6 +197,43 @@ def run_errortest_cli(seed: int = 0, smoke: bool = False,
     return 0 if report["passed"] else 1
 
 
+def run_slowtest_cli(seed: int = 0, quick: bool = False,
+                     out: str = "slowtest_report.json",
+                     bench_out: Optional[str] = None) -> int:
+    """Fail-slow campaign: hedged-read tail bound + integrity oracle."""
+    from .slowtest import run_slowtest, write_report
+
+    report = run_slowtest(seed=seed, quick=quick)
+    write_report(report, out)
+    if bench_out:
+        write_report(report["bench"], bench_out)
+    by_name = {c["name"]: c for c in report["campaigns"]}
+    for name in ("healthy", "hedged", "unhedged"):
+        lat = by_name[name]["read_latency"]
+        print(f"{name:9s} p50 {lat['p50_ms']:7.3f} ms   "
+              f"p99 {lat['p99_ms']:7.3f} ms   p999 {lat['p999_ms']:7.3f} ms"
+              f"   ({by_name[name]['reads']} reads)")
+    hedged = by_name["hedged"]["health"]
+    print(f"defense: {hedged['slow_hedges']} hedges "
+          f"({hedged['hedge_wins']} reconstruction wins), "
+          f"{hedged['slow_demotions']} demotions, "
+          f"{hedged['slow_evictions']} slow evictions")
+    sweep = by_name["hedged"].get("sweep") or {}
+    if sweep.get("replaced"):
+        print(f"escalation: devices {sweep['replaced']} rebuilt onto fresh "
+              f"replacements ({sweep['zones_rebuilt']} zones)")
+    print(f"tail bound: hedged p999 = "
+          f"{report['hedged_p999_over_healthy']}x healthy "
+          f"(<= {report['hedged_bound']}x required), unhedged = "
+          f"{report['unhedged_p999_over_healthy']}x "
+          f"(>= {report['unhedged_bound']}x required)")
+    print(f"oracle: {report['oracle_violations']} violations")
+    print("slowtest PASSED" if report["passed"] else "slowtest FAILED")
+    print(f"report written to {out}"
+          + (f", bench numbers to {bench_out}" if bench_out else ""))
+    return 0 if report["passed"] else 1
+
+
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "table1": run_table1,
     "rawdev": run_rawdev,
@@ -213,6 +250,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 DESCRIPTIONS = {
     "crashtest": "systematic crash-state enumeration + durability oracle",
     "errortest": "seeded error campaign + integrity oracle (self-healing)",
+    "slowtest": "fail-slow campaign + hedged-read tail-latency bound",
     "table1": "Table 1: RAIZN metadata location and size",
     "rawdev": "§6.1 raw device throughput (model calibration)",
     "fig7": "Figure 7: mdraid stripe-unit sweep",
@@ -241,6 +279,11 @@ def main(argv=None) -> int:
                         help="crashtest/errortest: JSON report path")
     parser.add_argument("--smoke", action="store_true",
                         help="errortest: small CI-sized campaign")
+    parser.add_argument("--quick", action="store_true",
+                        help="slowtest: small CI-sized campaign")
+    parser.add_argument("--bench-out", default=None,
+                        help="slowtest: also write BENCH_tail.json numbers "
+                             "to this path")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -260,6 +303,13 @@ def main(argv=None) -> int:
         status = run_errortest_cli(seed=args.seed, smoke=args.smoke,
                                    out=args.out or "errortest_report.json")
         print(f"[errortest completed in {time.time() - began:.1f}s wall]")
+        return status
+    if args.experiment == "slowtest":
+        began = time.time()
+        status = run_slowtest_cli(seed=args.seed, quick=args.quick,
+                                  out=args.out or "slowtest_report.json",
+                                  bench_out=args.bench_out)
+        print(f"[slowtest completed in {time.time() - began:.1f}s wall]")
         return status
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

@@ -16,7 +16,12 @@ rate on workloads representative of the figures:
   fourth stripe unit is reconstructed from parity;
 * ``scrub_overhead`` — the same reads with a background parity scrub
   running and a sprinkling of latent media errors, so the foreground
-  rate includes verify-and-heal traffic.
+  rate includes verify-and-heal traffic;
+* ``tail_latency`` — the same reads with fail-slow protection enabled
+  and one gray-failing (persistently slow, intermittently stalling)
+  device, so the rate includes hedge timers, reconstruction races, and
+  health scoring (the committed tail-latency numbers themselves live in
+  ``BENCH_tail.json``, produced by ``python -m repro slowtest``).
 
 Each scenario reports **simulated MiB moved per wall-clock second** —
 higher is a faster simulator, not a faster simulated device.  The run
@@ -53,7 +58,8 @@ from ..zns.device import ZNSDevice
 BENCH_UUID = bytes(range(16))
 
 SCENARIO_NAMES = ("seq_write", "multizone_write", "oltp_flush",
-                  "seq_read", "degraded_read", "scrub_overhead")
+                  "seq_read", "degraded_read", "scrub_overhead",
+                  "tail_latency")
 
 #: Scenarios whose wall-clock rate defines the write-path macro number.
 WRITE_PATH_SCENARIOS = ("seq_write", "multizone_write", "oltp_flush")
@@ -357,6 +363,30 @@ def _build_scrub_overhead(scale: PerfScale, seed: int):
     return sim, volume, devices, _read_bios(volume, scale, 64 * KiB)
 
 
+def _build_tail_latency(scale: PerfScale, seed: int):
+    """Hedged-read path under a gray failure: protection on, EWMAs
+    primed by a clean read pass, then one device degraded 3x with
+    intermittent 5 ms stalls — the read rate includes hedge timers,
+    reconstruction races, and health-score bookkeeping."""
+    from ..faults.failslow import SlowDeviceSpec, SlowPlan
+
+    sim = Simulator()
+    devices = [ZNSDevice(sim, name=f"zns{i}", num_zones=scale.num_zones,
+                         zone_capacity=scale.zone_capacity, seed=seed + i)
+               for i in range(scale.num_devices)]
+    config = RaiznConfig(num_data=scale.num_devices - 1,
+                         stripe_unit_bytes=scale.stripe_unit_bytes,
+                         failslow_protection=True)
+    volume = RaiznVolume.create(sim, devices, config, array_uuid=BENCH_UUID)
+    _prime(sim, volume, scale, seed)
+    _drive(sim, volume, _read_bios(volume, scale, 64 * KiB), scale.iodepth)
+    plan = SlowPlan(seed=seed + 1, specs=[
+        SlowDeviceSpec(device_index=1, degrade_factor=3.0,
+                       stall_probability=0.1, stall_seconds=5e-3)])
+    plan.arm(devices)
+    return sim, volume, devices, _read_bios(volume, scale, 64 * KiB)
+
+
 _SCENARIOS = {
     "seq_write": _build_seq_write,
     "multizone_write": _build_multizone_write,
@@ -364,6 +394,7 @@ _SCENARIOS = {
     "seq_read": _build_seq_read,
     "degraded_read": _build_degraded_read,
     "scrub_overhead": _build_scrub_overhead,
+    "tail_latency": _build_tail_latency,
 }
 
 

@@ -50,6 +50,38 @@ class RaiznConfig:
     #: read hits clean media.  Disabled only by harnesses measuring the
     #: detection power of their integrity oracle.
     read_repair: bool = True
+    #: Gray-failure (fail-slow) defense: per-device completion-latency
+    #: health scoring, hedged reconstruction reads for stragglers, and
+    #: demotion/eviction escalation.  Off by default — hedging perturbs
+    #: IO timing and stats, so only fail-slow campaigns and tail-latency
+    #: benchmarks opt in.
+    failslow_protection: bool = False
+    #: EWMA weight for per-device completion-latency tracking (mean and
+    #: mean absolute deviation).
+    latency_ewma_alpha: float = 0.125
+    #: Latency samples a device must accumulate before its distribution
+    #: is trusted to derive hedge deadlines and outlier thresholds.
+    hedge_min_samples: int = 32
+    #: A completion is *slow* (and a pending read hedge-eligible) past
+    #: ``max(hedge_floor_s, ewma * hedge_latency_multiplier,
+    #: ewma + hedge_slack_deviations * deviation_ewma)``.
+    hedge_latency_multiplier: float = 1.5
+    hedge_slack_deviations: float = 6.0
+    hedge_floor_s: float = 200e-6
+    #: EWMA weight of the slow-outlier indicator that forms the health
+    #: score (score = 1 - outlier EWMA).
+    slow_score_alpha: float = 0.1
+    #: Outlier-EWMA above which a device is demoted to "avoid for
+    #: reads": reads are served by reconstruction instead (writes still
+    #: land on the device and keep feeding the score).
+    slow_demote_score: float = 0.5
+    #: Outlier-EWMA above which a demoted device is evicted into
+    #: degraded mode via the standard eviction flow (only while parity
+    #: tolerance remains).
+    slow_evict_score: float = 0.85
+    #: Latency samples observed *after* demotion before slow-eviction
+    #: may fire — a demoted device gets a grace window to recover.
+    slow_evict_min_samples: int = 25
 
     def __post_init__(self) -> None:
         if self.num_parity != 1:

@@ -372,3 +372,67 @@ def run_scrub(sim: Simulator, volume, idle_delay: float = 0.0) -> ScrubReport:
     if not process.ok:
         raise process.value
     return report
+
+
+# ---------------------------------------------------------------- health sweep
+
+
+class HealthSweepReport:
+    """Outcome of one gray-failure health-maintenance sweep."""
+
+    def __init__(self) -> None:
+        #: Slots currently demoted (reads served from redundancy) but not
+        #: yet evicted — on watch, no action taken.
+        self.demoted: List[int] = []
+        #: Slots replaced this sweep (slow-evicted devices rebuilt onto
+        #: fresh replacements).
+        self.replaced: List[int] = []
+        #: The :class:`~repro.raizn.rebuild.RebuildReport` per replacement.
+        self.rebuild_reports: list = []
+
+    def to_dict(self) -> dict:
+        return {
+            "demoted": list(self.demoted),
+            "replaced": list(self.replaced),
+            "zones_rebuilt": sum(r.zones_rebuilt
+                                 for r in self.rebuild_reports),
+        }
+
+
+def slow_evicted_devices(volume) -> List[int]:
+    """Array slots evicted for persistent slowness.
+
+    A slow eviction leaves the device object in place (``remove=False``)
+    with its demotion flag still set — distinguishable from a plain
+    device loss, whose slot holds ``None`` or a never-demoted device.
+    """
+    return [index for index in range(volume.config.num_devices)
+            if volume.failed[index] and volume.device_health[index].demoted]
+
+
+def run_health_maintenance(sim: Simulator, volume,
+                           replacement_factory) -> HealthSweepReport:
+    """Feed slow-evicted devices into the standard rebuild flow.
+
+    The escalation ladder's last rung: a device whose health score stayed
+    bad was evicted by the volume (``HealthStats.slow_evictions``); this
+    sweep replaces each such device with ``replacement_factory(index)``
+    and rebuilds its contents from redundancy, exactly as a fail-stop
+    loss would be handled.  The slot's health score is reset afterwards —
+    the replacement starts with a clean latency distribution.  Demoted
+    but not-yet-evicted devices are only reported: demotion is reversible
+    and the volume lifts it on sustained recovery.
+    """
+    from .rebuild import rebuild
+    from .volume import DeviceHealth
+
+    report = HealthSweepReport()
+    report.demoted = [
+        index for index in range(volume.config.num_devices)
+        if not volume.failed[index] and volume.device_health[index].demoted]
+    for index in slow_evicted_devices(volume):
+        new_device = replacement_factory(index)
+        report.rebuild_reports.append(rebuild(sim, volume, index, new_device))
+        volume.device_health[index] = DeviceHealth()
+        report.replaced.append(index)
+    return report

@@ -78,6 +78,14 @@ class HealthStats:
     Every counter is cumulative over the volume's lifetime; the errortest
     harness reports them and the eviction policy consumes the per-device
     counts kept separately in ``RaiznVolume.error_counts``.
+
+    Accounting discipline: ``error_counts`` (which drives threshold
+    eviction) is charged only by *hard* evidence — media errors, wear
+    transitions, exhausted retry budgets.  Transient retries that later
+    succeed and hedged reads whose straggler eventually completes are
+    recorded in their own counters (``transient_retries``,
+    ``slow_hedges``) and never reach ``error_counts``; latency outliers
+    feed the separate :class:`DeviceHealth` score instead.
     """
 
     def __init__(self) -> None:
@@ -100,6 +108,19 @@ class HealthStats:
         #: Reads served from corrupt media because read-repair was
         #: disabled (only reachable with ``config.read_repair=False``).
         self.unrepaired_serves = 0
+        #: Hedged reconstruction reads fired against stragglers.  A hedge
+        #: is a latency defense, not an error: the straggler is charged
+        #: here (and in the device's :class:`DeviceHealth`), never in
+        #: ``error_counts``.
+        self.slow_hedges = 0
+        #: Hedges where the reconstruction beat the straggler and served
+        #: the read.
+        self.hedge_wins = 0
+        #: Devices demoted to "avoid for reads" by their health score.
+        self.slow_demotions = 0
+        #: Evictions (a subset of ``evictions``) triggered by a
+        #: persistently bad health score rather than the error threshold.
+        self.slow_evictions = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -111,7 +132,127 @@ class HealthStats:
             "parity_heals": self.parity_heals,
             "evictions": self.evictions,
             "unrepaired_serves": self.unrepaired_serves,
+            "slow_hedges": self.slow_hedges,
+            "hedge_wins": self.hedge_wins,
+            "slow_demotions": self.slow_demotions,
+            "slow_evictions": self.slow_evictions,
         }
+
+
+class _LatencyEwma:
+    """EWMA of completion latency plus its mean absolute deviation.
+
+    Outlier samples (past the adaptive threshold) are *excluded* from the
+    running mean: the threshold must track the device's healthy
+    behaviour, not chase a stall upward until hedging stops firing.
+    """
+
+    __slots__ = ("mean", "dev", "samples")
+
+    def __init__(self) -> None:
+        self.mean = 0.0
+        self.dev = 0.0
+        self.samples = 0
+
+    def threshold(self, config: RaiznConfig) -> Optional[float]:
+        """Adaptive slow-completion threshold, or None before the
+        distribution has ``hedge_min_samples`` observations."""
+        if self.samples < config.hedge_min_samples:
+            return None
+        return max(config.hedge_floor_s,
+                   self.mean * config.hedge_latency_multiplier,
+                   self.mean + config.hedge_slack_deviations * self.dev)
+
+    def observe(self, seconds: float, config: RaiznConfig) -> bool:
+        """Fold one sample in; returns True if it was a slow outlier."""
+        if self.samples == 0:
+            self.mean = seconds
+            self.samples = 1
+            return False
+        threshold = self.threshold(config)
+        outlier = threshold is not None and seconds > threshold
+        self.samples += 1
+        if not outlier:
+            alpha = config.latency_ewma_alpha
+            self.dev += alpha * (abs(seconds - self.mean) - self.dev)
+            self.mean += alpha * (seconds - self.mean)
+        return outlier
+
+
+class DeviceHealth:
+    """Latency health of one array device (gray-failure scoring).
+
+    Read and write completion latencies feed separate EWMAs (their
+    service times differ by channel bandwidth); each completion is
+    classified healthy/slow against the adaptive threshold, and the
+    slow-indicator EWMA forms the health score: ``score`` is 1.0 for a
+    healthy device and falls toward 0.0 as outliers dominate.  The
+    volume demotes (avoid for reads) and eventually evicts on the score
+    — see :meth:`RaiznVolume._note_latency`.
+    """
+
+    __slots__ = ("read", "write", "slow_score", "slow_outliers",
+                 "slow_hedges", "hedge_wins", "demoted",
+                 "samples_since_demote")
+
+    def __init__(self) -> None:
+        #: Read / write completion-latency distributions.
+        self.read = _LatencyEwma()
+        self.write = _LatencyEwma()
+        #: EWMA of the slow-outlier indicator, in [0, 1].
+        self.slow_score = 0.0
+        #: Cumulative completions classified slow.
+        self.slow_outliers = 0
+        #: Hedged reconstruction reads fired against this device.
+        self.slow_hedges = 0
+        #: Hedges the reconstruction won against this device.
+        self.hedge_wins = 0
+        #: Demoted: reads avoid this device (served by reconstruction).
+        self.demoted = False
+        #: Latency samples observed since demotion (eviction grace gate).
+        self.samples_since_demote = 0
+
+    @property
+    def score(self) -> float:
+        """Health score in [0, 1]; 1.0 is healthy."""
+        return 1.0 - self.slow_score
+
+    def observe(self, is_read: bool, seconds: float,
+                config: RaiznConfig) -> bool:
+        """Fold one completion latency in; returns True on an outlier."""
+        ewma = self.read if is_read else self.write
+        outlier = ewma.observe(seconds, config)
+        if outlier:
+            self.slow_outliers += 1
+        self.slow_score += config.slow_score_alpha * \
+            ((1.0 if outlier else 0.0) - self.slow_score)
+        if self.demoted:
+            self.samples_since_demote += 1
+        return outlier
+
+    def to_dict(self) -> dict:
+        return {
+            "read_ewma_ms": round(self.read.mean * 1e3, 4),
+            "write_ewma_ms": round(self.write.mean * 1e3, 4),
+            "score": round(self.score, 4),
+            "slow_outliers": self.slow_outliers,
+            "slow_hedges": self.slow_hedges,
+            "hedge_wins": self.hedge_wins,
+            "demoted": self.demoted,
+        }
+
+
+class _HedgeState:
+    """Flags shared between a straggler read and its hedge timer."""
+
+    __slots__ = ("primary", "served")
+
+    def __init__(self, primary: Event):
+        #: The straggler's device completion event.
+        self.primary = primary
+        #: True once the hedged reconstruction served the piece; the
+        #: straggler's eventual completion is then accounting-only.
+        self.served = False
 
 
 class RaiznVolume:
@@ -172,6 +313,13 @@ class RaiznVolume:
         #: ``config.device_error_threshold`` evicts the device (§4.2).
         self.error_counts: List[int] = [0] * config.num_devices
         self.health = HealthStats()
+        #: Per-device latency-health scores (gray-failure defense).
+        self.device_health: List[DeviceHealth] = [
+            DeviceHealth() for _ in range(config.num_devices)]
+        # Cached master switch: the hedging/health machinery sits on the
+        # hot read/write completion path, so the disabled case must cost
+        # one attribute test and nothing else.
+        self._failslow_on = config.failslow_protection
         self.rebuild_state: Optional[RebuildState] = None
         self.read_only = False
         self.stats = DeviceStats()
@@ -353,6 +501,46 @@ class RaiznVolume:
             return
         self.fail_device(index, remove=False)
         self.health.evictions += 1
+
+    def _note_latency(self, index: int, is_read: bool,
+                      seconds: float) -> None:
+        """Feed one completion latency into device ``index``'s health.
+
+        Escalation ladder: a score past ``slow_demote_score`` demotes the
+        device (reads are served from redundancy instead, writes still
+        land on it and keep feeding the score); a demoted device whose
+        score recovers is reinstated; one that stays past
+        ``slow_evict_score`` through the grace window is evicted through
+        the standard flow, gated on parity tolerance like
+        :meth:`_note_device_error`.  Latency outliers never touch
+        ``error_counts`` — slowness and hard errors escalate separately.
+        """
+        health = self.device_health[index]
+        health.observe(is_read, seconds, self.config)
+        config = self.config
+        if not health.demoted:
+            if health.slow_score >= config.slow_demote_score:
+                health.demoted = True
+                health.samples_since_demote = 0
+                self.health.slow_demotions += 1
+            return
+        if health.slow_score <= config.slow_demote_score * 0.5:
+            # Sustained recovery (hysteresis at half the demote score):
+            # lift the demotion and give the device its reads back.
+            health.demoted = False
+            return
+        if health.slow_score >= config.slow_evict_score \
+                and health.samples_since_demote >= \
+                config.slow_evict_min_samples \
+                and not self.failed[index] \
+                and sum(self.failed) < config.num_parity:
+            self.fail_device(index, remove=False)
+            self.health.evictions += 1
+            self.health.slow_evictions += 1
+
+    def device_health_report(self) -> List[dict]:
+        """Per-device latency-health snapshot (see :class:`DeviceHealth`)."""
+        return [health.to_dict() for health in self.device_health]
 
     def _tolerant_zone_op(self, device: int, bio: Bio) -> Event:
         """Submit a zone-management bio that tolerates wear-out races.
@@ -672,6 +860,9 @@ class RaiznVolume:
         bio = event.value
         exc = bio.error
         if exc is None:
+            if self._failslow_on:
+                self._note_latency(device, False,
+                                   self.sim.now - bio.submit_time)
             outcome.succeed(bio)
             return
         if isinstance(exc, (TransientCommandError, WritePointerViolation)):
@@ -900,11 +1091,28 @@ class RaiznVolume:
                 # the protected/degraded machinery reconstructs the whole
                 # range from redundancy.
         if self._device_available(device, desc.zone):
+            if self._avoid_for_reads(device, desc.zone):
+                # Demoted by its health score: serve from redundancy and
+                # spare the read the gray-failing device's tail.
+                return self._degraded_read_piece(device, pba, lba, length,
+                                                 desc, events, chunks, index)
             events.append(self._protected_read(device, pba, lba, length,
                                                desc, chunks, index))
             return None
         return self._degraded_read_piece(device, pba, lba, length, desc,
                                          events, chunks, index)
+
+    def _avoid_for_reads(self, device: int, zone: int) -> bool:
+        """Should reads skip this (demoted) device in favour of
+        reconstruction?  Only while every *other* device is available —
+        reconstruction needs all of them, so with a second device down
+        the demoted straggler is still the best source."""
+        if not self._failslow_on or not self.device_health[device].demoted:
+            return False
+        for other in range(self.config.num_devices):
+            if other != device and not self._device_available(other, zone):
+                return False
+        return True
 
     # -- self-healing device reads ------------------------------------------------
 
@@ -932,17 +1140,37 @@ class RaiznVolume:
         bio = Bio.read(pba, length)
         bio.errors_as_status = True
         event = self.devices[device].submit(bio)
+        hedge = None
+        if attempt == 0 and self._failslow_on:
+            # Hedge timer: if the read outlives the deadline derived from
+            # this device's own latency distribution, race a parity
+            # reconstruction against the straggler.
+            deadline = self.device_health[device].read.threshold(self.config)
+            if deadline is not None:
+                hedge = _HedgeState(event)
+                self.sim.schedule(deadline, self._fire_hedge, device, lba,
+                                  length, desc, chunks, index, outcome,
+                                  hedge)
         event.add_callback(
             lambda ev: self._read_attempted(ev, device, pba, lba, length,
                                             desc, chunks, index, outcome,
-                                            attempt))
+                                            attempt, hedge))
 
     def _read_attempted(self, event: Event, device: int, pba: int, lba: int,
                         length: int, desc: LogicalZoneDesc,
                         chunks: List[Optional[bytes]], index: int,
-                        outcome: Event, attempt: int) -> None:
+                        outcome: Event, attempt: int,
+                        hedge: Optional[_HedgeState] = None) -> None:
         bio = event.value
         exc = bio.error
+        if self._failslow_on and exc is None:
+            self._note_latency(device, True, self.sim.now - bio.submit_time)
+        if hedge is not None and hedge.served:
+            # The hedged reconstruction won the race and served this
+            # piece; the straggler's completion fed the health score
+            # above and nothing else is owed.  A latent error surfacing
+            # on the abandoned straggler is left for the scrubber.
+            return
         if exc is None:
             chunks[index] = bio.result
             outcome.succeed(bio)
@@ -1007,6 +1235,72 @@ class RaiznVolume:
             outcome.succeed(None)
         else:
             self._chain(sub_events[0], outcome)
+
+    def _fire_hedge(self, device: int, lba: int, length: int,
+                    desc: LogicalZoneDesc, chunks: List[Optional[bytes]],
+                    index: int, outcome: Event,
+                    hedge: _HedgeState) -> None:
+        """The primary read outlived its adaptive deadline: hedge it.
+
+        A parity reconstruction of the same range is raced against the
+        straggler via ``AnyOf``; the first winner delivers
+        ``chunks[index]``.  The loser is accounted as a hedge — never as
+        a device error, so hedging cannot push a merely-slow device over
+        the error-threshold eviction.
+        """
+        if hedge.primary.triggered or outcome.triggered:
+            return
+        su = self.config.stripe_unit_bytes
+        zone = desc.zone
+        in_zone = lba - desc.start_lba
+        stripe = in_zone // desc.stripe_width
+        in_su = (in_zone % desc.stripe_width) % su
+        self.health.slow_hedges += 1
+        self.device_health[device].slow_hedges += 1
+        buffer = desc.buffers.get(stripe)
+        if buffer is not None:
+            # Incomplete tail stripe: its parity is not on media yet, but
+            # the stripe buffer holds the bytes — instant win from memory.
+            stripe_offset = in_zone % desc.stripe_width
+            hedge.served = True
+            self.health.hedge_wins += 1
+            self.device_health[device].hedge_wins += 1
+            chunks[index] = bytes(
+                buffer.data[stripe_offset:stripe_offset + length])
+            outcome.succeed(None)
+            return
+        accumulator = bytearray(length)
+        try:
+            sources = self._reconstruct_sources(device, zone, stripe, in_su,
+                                                length, accumulator)
+        except (RaiznError, DeviceError):
+            # Another device is unavailable (failed or mid-rebuild):
+            # reconstruction cannot race, keep waiting on the straggler.
+            return
+        recon = self.sim.gather(sources)
+        race = self.sim.any_of([hedge.primary, recon])
+        race.add_callback(
+            lambda ev: self._hedge_settled(ev, recon, accumulator, device,
+                                           chunks, index, outcome, hedge))
+
+    def _hedge_settled(self, race: Event, recon: Event,
+                       accumulator: bytearray, device: int,
+                       chunks: List[Optional[bytes]], index: int,
+                       outcome: Event, hedge: _HedgeState) -> None:
+        if outcome.triggered or hedge.primary.triggered:
+            # The straggler won the race (its own callback, attached
+            # first, already served or escalated); the reconstruction is
+            # abandoned — its source reads drain into a dead buffer.
+            return
+        if not race.ok or not recon.triggered:
+            # The reconstruction itself failed (a fault on a survivor is
+            # a double fault): keep waiting on the straggler.
+            return
+        hedge.served = True
+        self.health.hedge_wins += 1
+        self.device_health[device].hedge_wins += 1
+        chunks[index] = bytes(accumulator)
+        outcome.succeed(None)
 
     def _heal_and_serve(self, device: int, lba: int, length: int,
                         desc: LogicalZoneDesc,
@@ -1223,6 +1517,9 @@ class RaiznVolume:
             completed = ev.value
             exc = completed.error
             if exc is None:
+                if self._failslow_on:
+                    self._note_latency(device, True,
+                                       self.sim.now - completed.submit_time)
                 xor_into(accumulator, completed.result)
                 outcome.succeed(completed)
             elif isinstance(exc, TransientCommandError) and \

@@ -109,6 +109,19 @@ class ZNSDevice(BlockDevice):
         """Snapshot of zone ``index``."""
         return self.zones[index].info()
 
+    def zone_fill_fraction(self, index: int) -> float:
+        """Written fraction of zone ``index``'s capacity, in [0, 1].
+
+        Zone-state characterization studies show per-command latency on
+        real ZNS devices growing with how full the target zone is (the
+        device does more internal housekeeping near zone capacity); the
+        fail-slow injector uses this to couple its ramp to zone state.
+        """
+        zone = self.zones[index]
+        if self.zone_capacity == 0:
+            return 0.0
+        return (zone.write_pointer - zone.start) / self.zone_capacity
+
     @property
     def open_zone_count(self) -> int:
         return self._open_count

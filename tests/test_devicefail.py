@@ -1,0 +1,120 @@
+"""Isolated coverage for ``repro.faults.devicefail`` (paper §4.2, §6.2).
+
+Exercises the three failure semantics in isolation: fail-stop (all IO
+errors out once a device fails), rejoin-rejected (a rebuild refuses a
+device that never failed or a replacement of the wrong geometry), and
+mid-bio failure (a device failing with IO in flight)."""
+
+import pytest
+
+from repro.block import Bio
+from repro.errors import DataLossError, DeviceFailedError, RaiznError
+from repro.faults import fail_and_rebuild, fresh_replacement
+from repro.raizn.rebuild import rebuild
+from repro.units import MiB
+from repro.zns import ZNSDevice
+
+from conftest import TEST_STRIPE_UNIT, make_volume, pattern
+
+SU = TEST_STRIPE_UNIT
+STRIPE = 4 * SU
+
+
+class TestFailStop:
+    def test_new_io_rejected_after_failure(self, zns):
+        zns.execute(Bio.write(0, pattern(SU)))
+        zns.fail_device()
+        with pytest.raises(DeviceFailedError):
+            zns.execute(Bio.read(0, SU))
+        with pytest.raises(DeviceFailedError):
+            zns.execute(Bio.write(SU, pattern(SU, seed=1)))
+
+    def test_rejection_as_status_when_opted_in(self, sim, zns):
+        zns.fail_device()
+        bio = Bio.read(0, SU)
+        bio.errors_as_status = True
+        done = zns.submit(bio)
+        sim.run()
+        assert done.ok
+        assert isinstance(done.value.error, DeviceFailedError)
+
+    def test_volume_serves_degraded_after_fail_stop(self, sim):
+        volume, _devices = make_volume(sim)
+        data = pattern(2 * STRIPE, seed=7)
+        volume.execute(Bio.write(0, data))
+        volume.fail_device(1)
+        assert volume.devices[1] is None
+        assert volume.execute(Bio.read(0, len(data))).result == data
+
+    def test_failing_past_parity_tolerance_refused(self, sim):
+        volume, _devices = make_volume(sim)
+        volume.fail_device(0)
+        with pytest.raises(DataLossError):
+            volume.fail_device(1)
+
+
+class TestRejoinRejected:
+    def test_rebuild_of_healthy_device_refused(self, sim):
+        volume, devices = make_volume(sim)
+        replacement = fresh_replacement(sim, devices[0], name="spare")
+        with pytest.raises(RaiznError, match="has not failed"):
+            rebuild(sim, volume, 2, replacement)
+
+    def test_geometry_mismatch_refused(self, sim):
+        volume, devices = make_volume(sim)
+        volume.fail_device(3)
+        wrong = ZNSDevice(sim, name="wrong", num_zones=devices[0].num_zones,
+                          zone_capacity=2 * MiB)
+        with pytest.raises(RaiznError, match="geometry mismatch"):
+            rebuild(sim, volume, 3, wrong)
+        # The slot stays failed so a correct replacement can still go in.
+        assert volume.failed[3]
+
+    def test_fail_and_rebuild_restores_redundancy(self, sim):
+        volume, _devices = make_volume(sim)
+        data = pattern(3 * STRIPE, seed=11)
+        volume.execute(Bio.write(0, data))
+        report = fail_and_rebuild(sim, volume, 2)
+        assert not volume.failed[2]
+        assert report.zones_rebuilt >= 1
+        assert volume.execute(Bio.read(0, len(data))).result == data
+        # Redundancy is actually back: lose a *different* device and the
+        # rebuilt one must participate in reconstruction.
+        volume.fail_device(0)
+        assert volume.execute(Bio.read(0, len(data))).result == data
+
+
+class TestMidBioFailure:
+    def test_inflight_bio_fails_with_event_error(self, sim, zns):
+        done = zns.submit(Bio.write(0, pattern(SU)))
+        zns.fail_device()
+        sim.run()
+        assert done.triggered and not done.ok
+        assert isinstance(done.value, DeviceFailedError)
+        assert "mid-IO" in str(done.value)
+
+    def test_inflight_bio_fails_as_status_when_opted_in(self, sim, zns):
+        bio = Bio.write(0, pattern(SU))
+        bio.errors_as_status = True
+        done = zns.submit(bio)
+        zns.fail_device()
+        sim.run()
+        assert done.ok
+        assert done.value is bio
+        assert isinstance(bio.error, DeviceFailedError)
+
+    def test_midbio_write_not_readable_after_rejoin_rebuild(self, sim):
+        volume, devices = make_volume(sim)
+        data = pattern(STRIPE, seed=5)
+        volume.execute(Bio.write(0, data))
+        # Kill a device with a volume write in flight; parity still
+        # covers the stripe so the volume-level write must complete.
+        done = volume.submit(Bio.write(STRIPE, pattern(STRIPE, seed=6)))
+        devices[4].fail_device()
+        volume.fail_device(4)
+        sim.run()
+        assert done.ok
+        fail_and_rebuild(sim, volume, 4)
+        whole = volume.execute(Bio.read(0, 2 * STRIPE)).result
+        assert whole[:STRIPE] == data
+        assert whole[STRIPE:] == pattern(STRIPE, seed=6)

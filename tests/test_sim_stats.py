@@ -90,6 +90,102 @@ class TestLatencyStats:
         assert stats.mean <= max(samples) * (1 + 1e-12) + 1e-300
 
 
+class TestPercentilesBatch:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no latency samples"):
+            LatencyStats().percentiles((50.0,))
+
+    def test_matches_scalar_percentile(self):
+        stats = LatencyStats()
+        stats.extend([5.0, 1.0, 3.0, 2.0, 4.0])
+        batch = stats.percentiles((0.0, 25.0, 50.0, 99.0, 100.0))
+        for pct, value in batch.items():
+            assert value == stats.percentile(pct)
+
+    def test_edge_percentiles(self):
+        stats = LatencyStats()
+        stats.extend([2.0, 8.0, 4.0])
+        batch = stats.percentiles((0.0, 100.0))
+        assert batch[0.0] == 2.0
+        assert batch[100.0] == 8.0
+
+    def test_single_sample_all_percentiles_collapse(self):
+        stats = LatencyStats()
+        stats.add(0.75)
+        batch = stats.percentiles((0.0, 50.0, 99.9, 100.0))
+        assert set(batch.values()) == {0.75}
+
+    def test_interpolation_between_samples(self):
+        stats = LatencyStats()
+        stats.extend([0.0, 1.0])
+        batch = stats.percentiles((25.0, 50.0, 75.0))
+        assert batch[25.0] == pytest.approx(0.25)
+        assert batch[50.0] == pytest.approx(0.5)
+        assert batch[75.0] == pytest.approx(0.75)
+
+    def test_out_of_range_rejected(self):
+        stats = LatencyStats()
+        stats.add(1.0)
+        with pytest.raises(ValueError):
+            stats.percentiles((50.0, 101.0))
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        assert LatencyStats().histogram() == []
+
+    def test_invalid_bucket_count(self):
+        stats = LatencyStats()
+        stats.add(1.0)
+        with pytest.raises(ValueError, match="num_buckets"):
+            stats.histogram(num_buckets=0)
+
+    def test_single_sample_single_bucket(self):
+        stats = LatencyStats()
+        stats.add(0.5)
+        assert stats.histogram() == [(0.5, 1)]
+
+    def test_identical_samples_collapse(self):
+        stats = LatencyStats()
+        stats.extend([2.0] * 7)
+        assert stats.histogram(num_buckets=8) == [(2.0, 7)]
+
+    def test_counts_sum_to_sample_count(self):
+        stats = LatencyStats()
+        stats.extend([0.001 * (i + 1) for i in range(100)])
+        histogram = stats.histogram(num_buckets=10)
+        assert len(histogram) == 10
+        assert sum(count for _, count in histogram) == 100
+
+    def test_bounds_monotonic_and_pinned_to_max(self):
+        stats = LatencyStats()
+        stats.extend([1e-4, 3e-4, 1e-3, 9e-3, 2e-2])
+        histogram = stats.histogram(num_buckets=6)
+        bounds = [bound for bound, _ in histogram]
+        assert bounds == sorted(bounds)
+        assert bounds[-1] == 2e-2
+
+    def test_zero_minimum_falls_back_to_linear(self):
+        stats = LatencyStats()
+        stats.extend([0.0, 0.25, 0.5, 0.75, 1.0])
+        histogram = stats.histogram(num_buckets=4)
+        bounds = [bound for bound, _ in histogram]
+        assert bounds == pytest.approx([0.25, 0.5, 0.75, 1.0])
+        assert [count for _, count in histogram] == [2, 1, 1, 1]
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e3,
+                              allow_subnormal=False),
+                    min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=32))
+    def test_histogram_conserves_mass(self, samples, num_buckets):
+        stats = LatencyStats()
+        stats.extend(samples)
+        histogram = stats.histogram(num_buckets=num_buckets)
+        assert sum(count for _, count in histogram) == len(samples)
+        bounds = [bound for bound, _ in histogram]
+        assert bounds == sorted(bounds)
+
+
 class TestThroughputSeries:
     def test_empty_series(self):
         assert ThroughputSeries().series() == []

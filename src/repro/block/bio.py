@@ -66,6 +66,9 @@ class Bio:
         "submit_time",
         "complete_time",
         "aux",
+        "counted",
+        "span",
+        "span_grant",
     )
 
     def __init__(
@@ -106,6 +109,18 @@ class Bio:
         self.complete_time: Optional[float] = None
         #: Device-private scratch (e.g. flush snapshots); not for callers.
         self.aux: object = None
+        #: Set once the bio has been charged to ``DeviceStats`` — stats
+        #: count logical commands, so a resubmission (retry) of the same
+        #: bio must not count again.
+        self.counted = False
+        #: Trace state while this bio is in flight on a device (see
+        #: :mod:`repro.trace`); None unless tracing is enabled, else the
+        #: parent-span id (an int, ``-1`` for no parent) captured at
+        #: submission.  With ``span_grant`` — the channel-grant time
+        #: stamped by ``_grant`` — the device folds a full span into the
+        #: trace ring at completion without allocating anything.
+        self.span = None
+        self.span_grant = 0.0
 
     # -- constructors ---------------------------------------------------------
 

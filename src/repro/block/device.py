@@ -32,6 +32,14 @@ class DeviceStats:
         #: Bytes physically programmed to media, including GC copy-back;
         #: write amplification = media_bytes_written / bytes_written.
         self.media_bytes_written = 0
+        #: Cumulative submit→complete seconds of successfully completed
+        #: commands, split by direction.  Commands that never complete
+        #: (rejected, or cut down mid-flight by power loss / device
+        #: failure) are not charged — the trace layer follows the same
+        #: rule, so per-device span totals reconcile with these.
+        self.read_seconds = 0.0
+        self.write_seconds = 0.0
+        self.other_seconds = 0.0
 
     @property
     def write_amplification(self) -> float:
@@ -39,7 +47,18 @@ class DeviceStats:
             return 1.0
         return self.media_bytes_written / self.bytes_written
 
+    @property
+    def io_seconds(self) -> float:
+        """Total submit→complete seconds across all completed commands."""
+        return self.read_seconds + self.write_seconds + self.other_seconds
+
     def account(self, bio: Bio) -> None:
+        """Charge one command's counters.
+
+        Called at the bio's *first* accepted submission (guarded by
+        ``bio.counted``): stats count logical commands, and a retry that
+        resubmits the same bio must not inflate throughput numbers.
+        """
         op = bio.op
         if op is Op.READ:
             self.reads += 1
@@ -53,9 +72,41 @@ class DeviceStats:
         else:
             self.zone_mgmt += 1
 
+    def observe_completion(self, bio: Bio, now: float) -> None:
+        """Charge one successful completion's latency to the time counters."""
+        elapsed = now - bio.submit_time
+        op = bio.op
+        if op is Op.READ:
+            self.read_seconds += elapsed
+        elif op is Op.WRITE or op is Op.ZONE_APPEND:
+            self.write_seconds += elapsed
+        else:
+            self.other_seconds += elapsed
+
+    def to_dict(self) -> dict:
+        """Snapshot for the metrics registry."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "flushes": self.flushes,
+            "zone_mgmt": self.zone_mgmt,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "media_bytes_written": self.media_bytes_written,
+            "write_amplification": self.write_amplification,
+            "read_seconds": self.read_seconds,
+            "write_seconds": self.write_seconds,
+            "other_seconds": self.other_seconds,
+            "io_seconds": self.io_seconds,
+        }
+
 
 class BlockDevice:
     """Abstract simulated device; subclasses implement ``_apply``/``_persist``."""
+
+    #: Trace-span layer tag for commands serviced by this device class;
+    #: subclasses override (ZNS → "zns", conventional → "conv").
+    trace_layer = "block"
 
     def __init__(
         self,
@@ -90,6 +141,11 @@ class BlockDevice:
         #: gray-failing device also inflicts queueing delay on commands
         #: behind the slow one (see :mod:`repro.faults.failslow`).
         self.service_delay_hook = None
+        #: Shared :class:`repro.trace.Tracer` when the owning volume has
+        #: tracing enabled; None costs each command one attribute test.
+        self.tracer = None
+        #: Interned trace-site ids, one per op, filled lazily.
+        self._trace_sites: dict = {}
 
     # -- the public IO interface ----------------------------------------------
 
@@ -125,6 +181,19 @@ class BlockDevice:
         except DeviceError as exc:
             self._reject(bio, done, exc)
             return done
+        # Accepted: charge the stats here, at first submission, rather
+        # than at completion.  The logical effect (including the media
+        # write) just applied in submission order, and counting here with
+        # the per-bio guard keeps a retried resubmission of the same bio
+        # from double-counting.
+        if not bio.counted:
+            bio.counted = True
+            self.stats.account(bio)
+        if self.tracer is not None:
+            # Device spans stay off the object heap until completion:
+            # the parent link rides in ``bio.span`` (an int, untracked
+            # by the GC) and the channel-grant time in ``bio.span_grant``.
+            bio.span = self.tracer.current_parent
         # Service chain: channel grant -> occupancy -> pipeline -> complete,
         # as plain scheduled callbacks.  A generator process here cost a
         # Process allocation plus several scheduler round-trips per command,
@@ -170,6 +239,8 @@ class BlockDevice:
 
     def _grant(self, bio: Bio, extra_time: float, done: Event) -> None:
         """A channel is ours: hold it for the occupancy time."""
+        if bio.span is not None:
+            bio.span_grant = self.sim.now  # queue wait ends, service begins
         occupancy = self.model.occupancy_time(bio.op, bio.length, self._rng)
         if self.service_delay_hook is not None:
             occupancy += self.service_delay_hook(self, bio)
@@ -209,13 +280,27 @@ class BlockDevice:
                                 PowerLossError(f"{self.name} lost power mid-IO"))
             return
         self._persist(bio)
-        self.stats.account(bio)
+        self.stats.observe_completion(bio, self.sim.now)
+        parent = bio.span
+        if parent is not None:
+            bio.span = None
+            opname = bio.op._value_  # str key: Enum.__hash__ is Python-level
+            try:
+                site = self._trace_sites[opname]
+            except KeyError:
+                site = self._trace_sites[opname] = self.tracer.site(
+                    self.trace_layer, bio.op, self.name)
+            self.tracer.complete_io(site, bio.submit_time, bio.span_grant,
+                                    bio.length, parent)
         bio.complete_time = self.sim.now
         done.succeed(bio)
         if self.completion_hook is not None:
             self.completion_hook(self, bio)
 
     def _fail_inflight(self, bio: Bio, done: Event, exc: BaseException) -> None:
+        # The command never completed; neither the trace nor io_seconds
+        # charges it (they must stay reconcilable).
+        bio.span = None
         if bio.errors_as_status:
             bio.error = exc
             bio.complete_time = self.sim.now

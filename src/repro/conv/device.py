@@ -22,6 +22,8 @@ from .ftl import FTLConfig, GCResult, PageMappedFTL
 class ConventionalSSD(BlockDevice):
     """A block-interface SSD with page-mapped FTL and on-device GC."""
 
+    trace_layer = "conv"
+
     def __init__(
         self,
         sim: Simulator,

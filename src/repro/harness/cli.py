@@ -124,8 +124,17 @@ def run_fig14() -> None:
          for c in cells]))
 
 
+def run_trace_cli(quick: bool = False, seed: int = 0,
+                  out: str = "trace_spans.jsonl") -> int:
+    """Traced workload: attribution report + reconciliation + span dump."""
+    from .tracecli import run_trace
+
+    return run_trace(quick=quick, seed=seed, out=out)
+
+
 def run_crashtest(states: int = 600, seed: int = 0,
-                  out: str = "crashtest_report.json") -> int:
+                  out: str = "crashtest_report.json",
+                  trace: Optional[str] = None) -> int:
     """Systematic crash-state exploration of the recovery path."""
     from .crashtest import explore, write_report
 
@@ -139,7 +148,8 @@ def run_crashtest(states: int = 600, seed: int = 0,
               f"{len(report.violations)} violations", end="", flush=True)
 
     report = explore(seed=seed, boundaries=boundaries,
-                     budget_per_boundary=budget, progress=progress)
+                     budget_per_boundary=budget, progress=progress,
+                     trace_out=trace)
     print()
     write_report(report, out)
     print(f"workload: {report['workload_ops']} ops, "
@@ -164,11 +174,12 @@ def run_crashtest(states: int = 600, seed: int = 0,
 
 
 def run_errortest_cli(seed: int = 0, smoke: bool = False,
-                      out: str = "errortest_report.json") -> int:
+                      out: str = "errortest_report.json",
+                      trace: Optional[str] = None) -> int:
     """Seeded error campaign + integrity oracle + detection-power check."""
     from .errortest import run_errortest, write_report
 
-    report = run_errortest(seed=seed, smoke=smoke)
+    report = run_errortest(seed=seed, smoke=smoke, trace_out=trace)
     write_report(report, out)
     injected = report["injected"]
     health = report["health"]
@@ -199,11 +210,12 @@ def run_errortest_cli(seed: int = 0, smoke: bool = False,
 
 def run_slowtest_cli(seed: int = 0, quick: bool = False,
                      out: str = "slowtest_report.json",
-                     bench_out: Optional[str] = None) -> int:
+                     bench_out: Optional[str] = None,
+                     trace: Optional[str] = None) -> int:
     """Fail-slow campaign: hedged-read tail bound + integrity oracle."""
     from .slowtest import run_slowtest, write_report
 
-    report = run_slowtest(seed=seed, quick=quick)
+    report = run_slowtest(seed=seed, quick=quick, trace_out=trace)
     write_report(report, out)
     if bench_out:
         write_report(report["bench"], bench_out)
@@ -251,6 +263,7 @@ DESCRIPTIONS = {
     "crashtest": "systematic crash-state enumeration + durability oracle",
     "errortest": "seeded error campaign + integrity oracle (self-healing)",
     "slowtest": "fail-slow campaign + hedged-read tail-latency bound",
+    "trace": "per-bio span tracing: attribution report + JSONL span dump",
     "table1": "Table 1: RAIZN metadata location and size",
     "rawdev": "§6.1 raw device throughput (model calibration)",
     "fig7": "Figure 7: mdraid stripe-unit sweep",
@@ -284,6 +297,9 @@ def main(argv=None) -> int:
     parser.add_argument("--bench-out", default=None,
                         help="slowtest: also write BENCH_tail.json numbers "
                              "to this path")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="crashtest/errortest/slowtest: trace the "
+                             "campaign and dump spans (JSONL) to PATH")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -292,23 +308,32 @@ def main(argv=None) -> int:
             print(f"  {name:9s} {description}")
         print("  all       run everything (excludes crashtest)")
         return 0
+    if args.experiment == "trace":
+        began = time.time()
+        status = run_trace_cli(quick=args.quick, seed=args.seed,
+                               out=args.out or "trace_spans.jsonl")
+        print(f"[trace completed in {time.time() - began:.1f}s wall]")
+        return status
     if args.experiment == "crashtest":
         began = time.time()
         status = run_crashtest(states=args.states, seed=args.seed,
-                               out=args.out or "crashtest_report.json")
+                               out=args.out or "crashtest_report.json",
+                               trace=args.trace)
         print(f"[crashtest completed in {time.time() - began:.1f}s wall]")
         return status
     if args.experiment == "errortest":
         began = time.time()
         status = run_errortest_cli(seed=args.seed, smoke=args.smoke,
-                                   out=args.out or "errortest_report.json")
+                                   out=args.out or "errortest_report.json",
+                                   trace=args.trace)
         print(f"[errortest completed in {time.time() - began:.1f}s wall]")
         return status
     if args.experiment == "slowtest":
         began = time.time()
         status = run_slowtest_cli(seed=args.seed, quick=args.quick,
                                   out=args.out or "slowtest_report.json",
-                                  bench_out=args.bench_out)
+                                  bench_out=args.bench_out,
+                                  trace=args.trace)
         print(f"[slowtest completed in {time.time() - began:.1f}s wall]")
         return status
     names = list(EXPERIMENTS) if args.experiment == "all" \

@@ -217,7 +217,8 @@ class _Report:
 
 def explore(seed: int = 0, num_ops: int = 90, boundaries: int = 60,
             budget_per_boundary: int = 12, double_crash_every: int = 8,
-            batch_size: int = 12, progress=None) -> Dict:
+            batch_size: int = 12, progress=None,
+            trace_out: Optional[str] = None) -> Dict:
     """Run the full crash-state exploration; returns the report dict.
 
     ``boundaries`` completion boundaries are sampled evenly from the
@@ -225,7 +226,9 @@ def explore(seed: int = 0, num_ops: int = 90, boundaries: int = 60,
     states.  Every ``double_crash_every``-th explored state additionally
     gets a crash injected during its recovery.  ``batch_size`` bounds how
     many boundary snapshots are held in memory at once (each batch costs
-    one extra workload replay).
+    one extra workload replay).  ``trace_out`` traces the pass-1
+    workload replay (the reference run every crash state is carved
+    from) and dumps its spans there as JSONL.
     """
     began = time.time()
     report = _Report(seed)
@@ -235,6 +238,9 @@ def explore(seed: int = 0, num_ops: int = 90, boundaries: int = 60,
 
     # Pass 1: count completion boundaries.
     sim, devices, volume = _fresh_array(seed)
+    if trace_out:
+        from ..trace import Tracer
+        volume.attach_tracer(Tracer(sim))
     counter = CompletionBoundaries(devices)
     expect = WorkloadExpectation(volume.num_data_zones,
                                  volume.zone_capacity)
@@ -242,6 +248,9 @@ def explore(seed: int = 0, num_ops: int = 90, boundaries: int = 60,
     counter.disarm()
     total = counter.count
     report.completion_boundaries = total
+    if trace_out:
+        from .tracecli import dump_spans
+        dump_spans(volume, trace_out)
 
     sampled = sorted({max(1, round((i + 1) * total / boundaries))
                       for i in range(min(boundaries, total))})

@@ -299,12 +299,16 @@ def _evict_phase(sim: Simulator, volume: RaiznVolume, plan: FaultPlan,
 def run_campaign(seed: int = 0, smoke: bool = False,
                  read_repair: bool = True,
                  with_eviction: bool = True,
-                 allow_resets: bool = True) -> CampaignReport:
+                 allow_resets: bool = True,
+                 trace_out: Optional[str] = None) -> CampaignReport:
     """One full error campaign; returns the filled-in report."""
     report = CampaignReport(seed, smoke, read_repair)
     num_ops = 80 if smoke else 160
     threshold = 15 if smoke else 40
     sim, devices, volume = _fresh_array(seed, read_repair, threshold)
+    if trace_out:
+        from ..trace import Tracer
+        volume.attach_tracer(Tracer(sim))
     rng = random.Random(seed + 5)
     victim_devices = rng.sample(range(NUM_DEVICES), 2 if smoke else 3)
     # All wear victims share one zone, so the other workload zones stay
@@ -357,6 +361,9 @@ def run_campaign(seed: int = 0, smoke: bool = False,
     plan.disarm()
     report.injected = plan.counts.to_dict()
     report.health = volume.health.to_dict()
+    if trace_out:
+        from .tracecli import dump_spans
+        dump_spans(volume, trace_out)
     return report
 
 
@@ -376,10 +383,11 @@ def detection_power(seed: int = 0) -> Dict:
     }
 
 
-def run_errortest(seed: int = 0, smoke: bool = False) -> Dict:
+def run_errortest(seed: int = 0, smoke: bool = False,
+                  trace_out: Optional[str] = None) -> Dict:
     """The full errortest: main campaign + detection-power check."""
     began = time.time()
-    report = run_campaign(seed=seed, smoke=smoke)
+    report = run_campaign(seed=seed, smoke=smoke, trace_out=trace_out)
     result = report.to_dict()
     result["detection_power"] = detection_power(seed)
     min_faults = 20 if smoke else 200

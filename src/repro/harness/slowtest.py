@@ -259,12 +259,16 @@ def _verify(sim: Simulator, volume: RaiznVolume, model: List[_ZoneModel],
 
 
 def run_campaign(name: str, seed: int = 0, protection: bool = True,
-                 inject: bool = True, quick: bool = False) -> CampaignReport:
+                 inject: bool = True, quick: bool = False,
+                 trace_out: Optional[str] = None) -> CampaignReport:
     """One fail-slow campaign variant; returns the filled-in report."""
     report = CampaignReport(name, seed, protection, inject)
     num_reads = 400 if quick else 2000
     num_writes = 100 if quick else 500
     sim, devices, volume = _fresh_array(seed, protection)
+    if trace_out:
+        from ..trace import Tracer
+        volume.attach_tracer(Tracer(sim))
 
     model = [_ZoneModel() for _ in range(WORKLOAD_ZONES)]
     sim.run_process(_fill_zones(sim, volume, seed, model))
@@ -305,16 +309,25 @@ def run_campaign(name: str, seed: int = 0, protection: bool = True,
     sim.run_process(_verify(sim, volume, model, report))
     report.health = volume.health.to_dict()
     report.device_health = volume.device_health_report()
+    if trace_out:
+        from .tracecli import dump_spans
+        dump_spans(volume, trace_out)
     return report
 
 
-def run_slowtest(seed: int = 0, quick: bool = False) -> Dict:
-    """The full slowtest: three variants plus the tail-latency bounds."""
+def run_slowtest(seed: int = 0, quick: bool = False,
+                 trace_out: Optional[str] = None) -> Dict:
+    """The full slowtest: three variants plus the tail-latency bounds.
+
+    ``trace_out`` traces the *hedged* campaign (the interesting one —
+    its spans show reconstruction reads racing primaries) and dumps its
+    spans there.
+    """
     began = time.time()
     healthy = run_campaign("healthy", seed, protection=True, inject=False,
                            quick=quick)
     hedged = run_campaign("hedged", seed, protection=True, inject=True,
-                          quick=quick)
+                          quick=quick, trace_out=trace_out)
     unhedged = run_campaign("unhedged", seed, protection=False, inject=True,
                             quick=quick)
     healthy_p999 = healthy.read_latency.p999

@@ -82,6 +82,12 @@ class RaiznConfig:
     #: Latency samples observed *after* demotion before slow-eviction
     #: may fire — a demoted device gets a grace window to recover.
     slow_evict_min_samples: int = 25
+    #: Per-bio span tracing (see :mod:`repro.trace`): the volume creates
+    #: a :class:`~repro.trace.Tracer` shared with every array device,
+    #: recording spans at the volume boundary, stripe assembly, parity
+    #: compute, metadata appends, and each device command.  Off by
+    #: default; the disabled datapath pays one attribute test per site.
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         if self.num_parity != 1:

@@ -73,6 +73,10 @@ class DeviceMetadataZones:
         self.used: Dict[int, int] = {index: 0 for index in zone_indices}
         self._locks: Dict[MetadataRole, Lock] = {
             role: Lock(sim) for role in MetadataRole}
+        #: Interned per-role trace-site ids, keyed by role value (valid
+        #: for one sink; the volume resets this when it attaches a
+        #: tracer).
+        self._tr_sites: Dict[str, int] = {}
         #: Lifetime counters for Table 1 / ablation reporting.
         self.appended_bytes = 0
         self.gc_cycles = 0
@@ -123,6 +127,20 @@ class DeviceMetadataZones:
         ordering (and with it every RNG draw) byte-identical.
         """
         done = Event(self.sim)
+        tracer = self.device.tracer
+        if tracer is not None:
+            # The md span covers lock wait, any log rotation, and the
+            # device append; it parents under the logical bio whose
+            # synchronous fan-out issued this append (if any).  The span
+            # doubles as the completion callback (see repro.trace).
+            sites = self._tr_sites
+            rolename = role._value_  # str key: Enum.__hash__ is Python-level
+            try:
+                site = sites[rolename]
+            except KeyError:
+                site = sites[rolename] = tracer.site("md", role,
+                                                     self.device.name)
+            done.add_callback(tracer.begin_at(site))
         # Hop 1 stands in for the deferred process start.
         self.sim.schedule(0.0, self._append_start, role, entry, fua, done)
         return done

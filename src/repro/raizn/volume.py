@@ -36,6 +36,8 @@ from ..errors import (
     ZoneStateError,
 )
 from ..sim import Event, Simulator
+from ..trace import Tracer
+from ..trace.tracer import SITE_BITS
 from ..zns.device import ZNSDevice
 from ..zns.spec import ZoneInfo, ZoneState
 from .address import AddressMapper
@@ -245,7 +247,7 @@ class DeviceHealth:
 class _HedgeState:
     """Flags shared between a straggler read and its hedge timer."""
 
-    __slots__ = ("primary", "served")
+    __slots__ = ("primary", "served", "served_at")
 
     def __init__(self, primary: Event):
         #: The straggler's device completion event.
@@ -253,6 +255,11 @@ class _HedgeState:
         #: True once the hedged reconstruction served the piece; the
         #: straggler's eventual completion is then accounting-only.
         self.served = False
+        #: Simulated time at which the reconstruction served the piece.
+        #: A straggler completing in the *same tick* tied the race — the
+        #: AnyOf winner is exclusive, so the tie is not charged to the
+        #: primary's latency EWMA (see ``_read_attempted``).
+        self.served_at: Optional[float] = None
 
 
 class RaiznVolume:
@@ -323,6 +330,21 @@ class RaiznVolume:
         self.rebuild_state: Optional[RebuildState] = None
         self.read_only = False
         self.stats = DeviceStats()
+        #: Shared span tracer (see :mod:`repro.trace`); None unless
+        #: ``config.tracing`` — the hot paths test this one attribute.
+        self.tracer: Optional[Tracer] = None
+        #: Cached live aggregate rows for the zero-duration counters
+        #: (stripe assembly, parity computation): bumping a cached row
+        #: in place is the cheapest possible instrumentation.
+        self._tr_stripe_row: Optional[list] = None
+        self._tr_parity_full_row: Optional[list] = None
+        self._tr_parity_partial_row: Optional[list] = None
+        #: Interned per-op root-span sites, filled lazily per sink.
+        self._tr_vol_sites: dict = {}
+        #: Shared root-span completion callback (set by attach_tracer).
+        self._tr_root_cb = None
+        if config.tracing:
+            self.attach_tracer(Tracer(sim))
         #: Pending (bio, done) pairs per zone blocked by an in-flight reset.
         self._reset_pending: Dict[int, List[Tuple[Bio, Event]]] = {}
         # Logical open-zone budget: each device spends open slots on its
@@ -400,10 +422,71 @@ class RaiznVolume:
 
     # ------------------------------------------------------------------ submission
 
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Arm span tracing: share ``tracer`` with every array device.
+
+        Normally driven by ``config.tracing`` at construction; harnesses
+        may attach later to trace only part of a run.
+        """
+        self.tracer = tracer
+        self._tr_stripe_row = tracer.aggregate_row("stripe", "assemble")
+        self._tr_parity_full_row = tracer.aggregate_row("parity", "full")
+        self._tr_parity_partial_row = tracer.aggregate_row("parity",
+                                                           "partial")
+        self._tr_vol_sites = {}  # ids are per-sink; drop stale ones
+        for dev in self.devices:
+            if dev is not None:
+                dev.tracer = tracer
+                dev._trace_sites = {}
+        for mdz in self.mdzones:
+            if mdz is not None:
+                mdz._tr_sites = {}
+
+        def _root_cb(event) -> None:
+            # Shared completion callback for every logical bio's root
+            # span.  Only successful completions are charged (the device
+            # layer follows the same rule), and those events succeed
+            # with the bio itself, which carries the packed id/site
+            # code, the submit time, and the length.
+            if not event.ok:
+                return
+            bio = event.value
+            code = bio.span
+            if code is None:
+                return
+            bio.span = None
+            tracer.record_root(code, bio.submit_time, bio.length)
+
+        self._tr_root_cb = _root_cb
+
     def submit(self, bio: Bio) -> Event:
         """Submit a logical bio; the event succeeds with the completed bio."""
         bio.submit_time = self.sim.now
         done = Event(self.sim)
+        tracer = self.tracer
+        if tracer is not None:
+            sites = self._tr_vol_sites
+            opname = bio.op._value_  # str key: Enum.__hash__ is Python-level
+            try:
+                site = sites[opname]
+            except KeyError:
+                site = sites[opname] = tracer.site("volume", bio.op)
+            # The root span is two ints parked on the bio (id + site,
+            # packed) and a shared callback — no per-bio trace objects.
+            code = tracer.root_code(site)
+            bio.span = code
+            done.add_callback(self._tr_root_cb)
+            # The fan-out below is synchronous: device commands and
+            # metadata appends it spawns parent themselves under this
+            # bio's root span via the tracer's current-parent slot.
+            tracer.current_parent = code >> SITE_BITS
+            try:
+                self._dispatch(bio, done)
+            except (RaiznError, DeviceError) as exc:
+                self.sim.schedule(0.0, done.fail, exc)
+            finally:
+                tracer.current_parent = -1
+            return done
         try:
             self._dispatch(bio, done)
         except (RaiznError, DeviceError) as exc:
@@ -721,6 +804,10 @@ class RaiznVolume:
                 "stripe buffers occupied (should not happen: writes are "
                 "sequential, so only the tail stripe is ever incomplete)")
         buffer.absorb(in_stripe, chunk)
+        row = self._tr_stripe_row
+        if row is not None:
+            row[0] += 1
+            row[2] += len(chunk)
         layout = self.mapper.stripe_layout(zone, stripe)
 
         # Fan out the data pieces, one per (device, stripe-unit) fragment.
@@ -909,6 +996,10 @@ class RaiznVolume:
         if not self._device_available(device, desc.zone):
             return
         parity = buffer.full_parity()
+        row = self._tr_parity_full_row
+        if row is not None:
+            row[0] += 1
+            row[2] += len(parity)
         pba = desc.zone * self.phys_zone_size + \
             stripe * self.config.stripe_unit_bytes
         pdesc = self.phys[device][desc.zone]
@@ -956,6 +1047,10 @@ class RaiznVolume:
             return
         offset, delta = StripeBuffer.delta_parity(
             in_stripe, chunk, self.config.stripe_unit_bytes)
+        row = self._tr_parity_partial_row
+        if row is not None:
+            row[0] += 1
+            row[2] += len(delta)
         stripe_lba = desc.start_lba + stripe * desc.stripe_width
         entry = encode_partial_parity(
             stripe_lba + in_stripe, stripe_lba + in_stripe + len(chunk),
@@ -1163,13 +1258,24 @@ class RaiznVolume:
                         hedge: Optional[_HedgeState] = None) -> None:
         bio = event.value
         exc = bio.error
-        if self._failslow_on and exc is None:
+        if self._failslow_on and exc is None and \
+                not (hedge is not None and hedge.served
+                     and hedge.served_at == self.sim.now):
+            # The AnyOf winner is exclusive: when the reconstruction and
+            # the primary complete in the same tick, the hedge already
+            # owns the serve (and its win counters), so the primary's
+            # sample is dropped — it met the deadline to the tick, and
+            # charging it as a straggler on top of the hedge win would
+            # double-count the event and skew the slow-score.  A genuine
+            # straggler (completing in a *later* tick) still feeds the
+            # health score.
             self._note_latency(device, True, self.sim.now - bio.submit_time)
         if hedge is not None and hedge.served:
             # The hedged reconstruction won the race and served this
             # piece; the straggler's completion fed the health score
-            # above and nothing else is owed.  A latent error surfacing
-            # on the abandoned straggler is left for the scrubber.
+            # above (unless it tied) and nothing else is owed.  A latent
+            # error surfacing on the abandoned straggler is left for the
+            # scrubber.
             return
         if exc is None:
             chunks[index] = bio.result
@@ -1263,6 +1369,7 @@ class RaiznVolume:
             # the stripe buffer holds the bytes — instant win from memory.
             stripe_offset = in_zone % desc.stripe_width
             hedge.served = True
+            hedge.served_at = self.sim.now
             self.health.hedge_wins += 1
             self.device_health[device].hedge_wins += 1
             chunks[index] = bytes(
@@ -1297,6 +1404,7 @@ class RaiznVolume:
             # a double fault): keep waiting on the straggler.
             return
         hedge.served = True
+        hedge.served_at = self.sim.now
         self.health.hedge_wins += 1
         self.device_health[device].hedge_wins += 1
         chunks[index] = bytes(accumulator)

@@ -41,25 +41,35 @@ class LatencyStats:
             self._samples.sort()
             self._sorted = True
 
+    def _interpolate(self, pct: float) -> float:
+        """Shared linear interpolation over the (sorted) sample list.
+
+        The single code path both :meth:`percentile` and
+        :meth:`percentiles` resolve through — small sample counts (1 or
+        2) must produce the same answer from either entry point, so the
+        edge-case handling lives here and nowhere else.
+        """
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        samples = self._samples
+        if len(samples) == 1:
+            return samples[0]
+        rank = (pct / 100.0) * (len(samples) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return samples[low]
+        frac = rank - low
+        # a + (b-a)*frac is monotone in frac under IEEE rounding, unlike
+        # the a*(1-frac) + b*frac form.
+        return samples[low] + (samples[high] - samples[low]) * frac
+
     def percentile(self, pct: float) -> float:
         """Linear-interpolated percentile, ``pct`` in [0, 100]."""
         if not self._samples:
             raise ValueError("no latency samples recorded")
-        if not 0.0 <= pct <= 100.0:
-            raise ValueError(f"percentile out of range: {pct}")
         self._ensure_sorted()
-        if len(self._samples) == 1:
-            return self._samples[0]
-        rank = (pct / 100.0) * (len(self._samples) - 1)
-        low = math.floor(rank)
-        high = math.ceil(rank)
-        if low == high:
-            return self._samples[low]
-        frac = rank - low
-        # a + (b-a)*frac is monotone in frac under IEEE rounding, unlike
-        # the a*(1-frac) + b*frac form.
-        return self._samples[low] + \
-            (self._samples[high] - self._samples[low]) * frac
+        return self._interpolate(pct)
 
     @property
     def median(self) -> float:
@@ -101,7 +111,7 @@ class LatencyStats:
         if not self._samples:
             raise ValueError("no latency samples recorded")
         self._ensure_sorted()
-        return {pct: self.percentile(pct) for pct in ps}
+        return {pct: self._interpolate(pct) for pct in ps}
 
     def histogram(self, num_buckets: int = 16) -> List[Tuple[float, int]]:
         """Export the distribution as ``[(upper_bound_seconds, count), ...]``.

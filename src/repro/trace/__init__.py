@@ -1,0 +1,24 @@
+"""Cross-layer bio tracing and the unified metrics registry.
+
+Enable with ``RaiznConfig(tracing=True)`` and inspect via::
+
+    PYTHONPATH=src python -m repro trace
+
+which runs a mixed workload, prints the per-layer time-attribution
+report, verifies span totals reconcile with the registry counters, and
+dumps the span ring as JSON Lines.
+"""
+
+from .metrics import MetricsRegistry
+from .report import ReconcileRow, format_trace_report, reconcile
+from .tracer import Span, TraceSink, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "ReconcileRow",
+    "Span",
+    "TraceSink",
+    "Tracer",
+    "format_trace_report",
+    "reconcile",
+]

@@ -1,0 +1,120 @@
+"""Time-attribution report over a trace sink (a text flamegraph).
+
+Renders where simulated time went, per layer and per device, from the
+sink's cumulative aggregates — and reconciles the per-device span totals
+against the :class:`~repro.trace.metrics.MetricsRegistry` snapshot of
+``DeviceStats.io_seconds``.  Both accountings measure the same
+submit→complete interval from the same simulated clock, so they must
+agree; the 1% tolerance exists only to absorb deliberate future changes
+to either side, not floating-point noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..units import MiB
+from .metrics import MetricsRegistry
+from .tracer import DEVICE_LAYERS, TraceSink, name_str
+
+#: Render order; unknown layers (custom instrumentation) sort after.
+_LAYER_ORDER = {"volume": 0, "stripe": 1, "parity": 2, "md": 3,
+                "block": 4, "conv": 5, "zns": 6}
+
+#: Reconciliation tolerance (fraction of the registry's counter).
+RECONCILE_TOLERANCE = 0.01
+
+
+@dataclasses.dataclass
+class ReconcileRow:
+    """One device's span total vs its registry ``io_seconds`` counter."""
+
+    device: str
+    span_seconds: float
+    registry_seconds: float
+
+    @property
+    def delta_fraction(self) -> float:
+        if self.registry_seconds == 0.0:
+            return 0.0 if self.span_seconds == 0.0 else float("inf")
+        return (self.span_seconds - self.registry_seconds) \
+            / self.registry_seconds
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.delta_fraction) <= RECONCILE_TOLERANCE
+
+
+def reconcile(sink: TraceSink,
+              registry: MetricsRegistry) -> List[ReconcileRow]:
+    """Per-device span seconds vs registry ``device.<name>.io_seconds``."""
+    span_totals = sink.device_seconds()
+    rows = []
+    for name, counters in sorted(registry.snapshot().items()):
+        if not name.startswith("device."):
+            continue
+        device = name[len("device."):]
+        rows.append(ReconcileRow(
+            device=device,
+            span_seconds=span_totals.get(device, 0.0),
+            registry_seconds=float(counters.get("io_seconds", 0.0))))
+    return rows
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def format_trace_report(sink: TraceSink,
+                        registry: Optional[MetricsRegistry] = None) -> str:
+    """Render the attribution report; includes reconciliation when a
+    registry is supplied."""
+    lines: List[str] = []
+    lines.append(f"spans recorded: {sink.total_recorded} "
+                 f"(ring holds {sink.ring_count}, evicted {sink.evicted})")
+    lines.append("")
+    lines.append("time attribution (simulated seconds; layers overlap — a "
+                 "bio is in several at once)")
+
+    # Group aggregate rows by layer.  Device spans carry their
+    # queue/service split in the row's fourth slot (queue seconds);
+    # those render as derived rows indented under the span row.
+    by_layer: Dict[str, List[Tuple[str, Optional[str], List]]] = {}
+    for (layer, name, device), row in sink.aggregates.items():
+        by_layer.setdefault(layer, []).append((name_str(name), device, row))
+    peak = max((row[1] for rows in by_layer.values()
+                for _, _, row in rows), default=0.0)
+
+    header = f"  {'layer/name':<28}{'count':>9}{'seconds':>12}{'MiB':>9}  "
+    lines.append(header + "share")
+    for layer in sorted(by_layer, key=lambda l: (_LAYER_ORDER.get(l, 99), l)):
+        rows = by_layer[layer]
+        lines.append(f"  {layer}")
+        for name, device, row in sorted(rows, key=lambda item: -item[2][1]):
+            label = f"{name}@{device}" if device is not None else name
+            count, seconds, nbytes, queue = row
+            share = seconds / peak if peak > 0 else 0.0
+            lines.append(f"    {label:<26}{count:>9}{seconds:>12.6f}"
+                         f"{nbytes / MiB:>9.1f}  {_bar(share)}")
+            if layer in DEVICE_LAYERS and seconds > 0.0:
+                for sub, subsec in (("queue", queue),
+                                    ("service", seconds - queue)):
+                    sub_share = subsec / peak if peak > 0 else 0.0
+                    lines.append(f"      {sub:<24}{count:>9}{subsec:>12.6f}"
+                                 f"{'':>9}  {_bar(sub_share)}")
+
+    if registry is not None:
+        lines.append("")
+        lines.append("reconciliation: device span totals vs MetricsRegistry "
+                     "io_seconds")
+        lines.append(f"  {'device':<10}{'spans s':>12}{'registry s':>12}"
+                     f"{'delta':>9}")
+        for row in reconcile(sink, registry):
+            delta = row.delta_fraction
+            verdict = "ok" if row.ok else "MISMATCH"
+            lines.append(f"  {row.device:<10}{row.span_seconds:>12.6f}"
+                         f"{row.registry_seconds:>12.6f}"
+                         f"{delta * 100:>8.2f}%  {verdict}")
+    return "\n".join(lines)

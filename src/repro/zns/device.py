@@ -44,6 +44,10 @@ from .zone import Zone
 class ZNSDevice(BlockDevice):
     """A zoned-namespace SSD with byte-backed media."""
 
+    #: ZNS service spans carry their own layer tag so the attribution
+    #: report separates zone-command service time from generic block IO.
+    trace_layer = "zns"
+
     def __init__(
         self,
         sim: Simulator,

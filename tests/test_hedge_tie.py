@@ -1,0 +1,106 @@
+"""Hedge-race accounting: the AnyOf winner is exclusive.
+
+When a hedged reconstruction and the straggling primary read complete
+in the same simulated tick, the hedge already owns the serve and its
+win counters; charging the primary's completion to the latency EWMA as
+well would double-count one event and skew the slow-score.  A genuine
+straggler — completing in a *later* tick — must still feed the score.
+"""
+
+import pytest
+
+from repro.block import Bio
+from repro.raizn.config import RaiznConfig
+from repro.raizn.volume import RaiznVolume, _HedgeState, _LatencyEwma
+from repro.sim import Event, Simulator
+
+from conftest import TEST_STRIPE_UNIT, make_zns_devices
+
+
+@pytest.fixture
+def failslow_volume(sim):
+    devices = make_zns_devices(sim)
+    config = RaiznConfig(num_data=len(devices) - 1,
+                         stripe_unit_bytes=TEST_STRIPE_UNIT,
+                         failslow_protection=True)
+    return RaiznVolume.create(sim, devices, config)
+
+
+def _attempt_completion(sim: Simulator, volume: RaiznVolume, hedge,
+                        length: int = 4096):
+    """Drive ``_read_attempted`` directly with a crafted completion."""
+    bio = Bio.read(0, length)
+    bio.errors_as_status = True
+    bio.submit_time = sim.now - 0.004  # the primary took 4 ms
+    bio.result = b"\xab" * length
+    event = Event(sim)
+    event.succeed(bio)
+    chunks = [None]
+    outcome = Event(sim)
+    volume._read_attempted(event, 0, 0, 0, length, None, chunks, 0,
+                           outcome, 0, hedge)
+    return chunks, outcome
+
+
+class TestHedgeTie:
+    def test_tied_primary_not_charged(self, sim, failslow_volume):
+        """Same-tick completion: the hedge won, the primary's sample is
+        dropped and the already-served outcome is left alone."""
+        hedge = _HedgeState(Event(sim))
+        hedge.served = True
+        hedge.served_at = sim.now  # reconstruction served this tick
+        health = failslow_volume.device_health[0]
+        before = health.read.samples
+        chunks, outcome = _attempt_completion(sim, failslow_volume, hedge)
+        assert health.read.samples == before
+        assert chunks == [None]  # hedge delivered the piece, not us
+        assert not outcome.triggered
+
+    def test_late_straggler_still_charged(self, sim, failslow_volume):
+        """The primary limped in a tick after the hedge served: that is
+        exactly the signal the health score exists for."""
+        hedge = _HedgeState(Event(sim))
+        hedge.served = True
+        hedge.served_at = sim.now - 1e-3  # hedge won a full tick earlier
+        health = failslow_volume.device_health[0]
+        before = health.read.samples
+        chunks, outcome = _attempt_completion(sim, failslow_volume, hedge)
+        assert health.read.samples == before + 1
+        assert chunks == [None]
+        assert not outcome.triggered
+
+    def test_unhedged_completion_serves_and_charges(self, sim,
+                                                    failslow_volume):
+        health = failslow_volume.device_health[0]
+        before = health.read.samples
+        chunks, outcome = _attempt_completion(sim, failslow_volume, None)
+        assert health.read.samples == before + 1
+        assert chunks[0] == b"\xab" * 4096
+        assert outcome.triggered and outcome.ok
+
+    def test_hedge_state_starts_unserved(self, sim):
+        hedge = _HedgeState(Event(sim))
+        assert not hedge.served
+        assert hedge.served_at is None
+
+
+class TestLatencyEwma:
+    def test_no_threshold_before_min_samples(self):
+        config = RaiznConfig(num_data=4, hedge_min_samples=4)
+        ewma = _LatencyEwma()
+        for _ in range(4):
+            assert ewma.threshold(config) is None
+            ewma.observe(1e-3, config)
+        assert ewma.threshold(config) is not None
+
+    def test_every_sample_counted_even_outliers(self):
+        """`samples` counts observations, not just healthy ones — the
+        tie fix relies on dropped ties being the *only* uncounted
+        completions."""
+        config = RaiznConfig(num_data=4, hedge_min_samples=2)
+        ewma = _LatencyEwma()
+        for _ in range(8):
+            ewma.observe(1e-3, config)
+        assert ewma.observe(1.0, config)  # a gross outlier
+        assert ewma.samples == 9
+        assert ewma.mean < 2e-3  # outlier excluded from the mean

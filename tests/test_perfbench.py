@@ -33,6 +33,26 @@ class TestDeterminism:
         assert base.digest != other.digest
 
 
+class TestTracingOverhead:
+    def test_traced_run_is_inert_and_measured(self):
+        report = run_datapath_bench(fast=True,
+                                    only=["seq_write", "tracing_overhead"])
+        by_name = {s.name: s for s in report.scenarios}
+        # Inert: tracing changes no simulation outcome, only observes it.
+        assert by_name["tracing_overhead"].digest == \
+            by_name["seq_write"].digest
+        assert report.tracing_overhead_pct is not None
+        # CPU-time delta from interleaved best-of-N pairs.  The design
+        # budget is < 3% on an idle machine; shared CI boxes show far
+        # larger process-to-process variance, so this bound is only a
+        # gross-regression tripwire.
+        assert report.tracing_overhead_pct < 25.0
+
+    def test_no_overhead_number_without_both_scenarios(self):
+        report = run_datapath_bench(fast=True, only=["seq_write"])
+        assert report.tracing_overhead_pct is None
+
+
 class TestRecordedResults:
     def test_bench_file_records_baseline_and_current(self):
         recorded = json.loads(

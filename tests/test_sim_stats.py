@@ -129,6 +129,20 @@ class TestPercentilesBatch:
         with pytest.raises(ValueError):
             stats.percentiles((50.0, 101.0))
 
+    @given(st.lists(st.floats(min_value=0, max_value=1e3,
+                              allow_subnormal=False),
+                    min_size=1, max_size=100),
+           st.lists(st.floats(min_value=0, max_value=100),
+                    min_size=1, max_size=10))
+    def test_scalar_batch_unified(self, samples, pcts):
+        """Both entry points route through the same interpolation, so
+        they agree bit-for-bit on any sample set and percentile."""
+        stats = LatencyStats()
+        stats.extend(samples)
+        batch = stats.percentiles(pcts)
+        for pct in pcts:
+            assert batch[pct] == stats.percentile(pct)
+
 
 class TestHistogram:
     def test_empty_histogram(self):

@@ -66,6 +66,7 @@ class Bio:
         "submit_time",
         "complete_time",
         "aux",
+        "wctx",
         "counted",
         "span",
         "span_grant",
@@ -109,6 +110,10 @@ class Bio:
         self.complete_time: Optional[float] = None
         #: Device-private scratch (e.g. flush snapshots); not for callers.
         self.aux: object = None
+        #: Submitter-private context rider: the RAIZN write path parks its
+        #: per-attempt join state here so the device completion callback
+        #: can be one shared bound method instead of a closure per command.
+        self.wctx: object = None
         #: Set once the bio has been charged to ``DeviceStats`` — stats
         #: count logical commands, so a resubmission (retry) of the same
         #: bio must not count again.

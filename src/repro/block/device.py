@@ -11,7 +11,8 @@ flushes, FUA) are applied at completion time.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple
 
 from ..errors import DeviceError, DeviceFailedError, PowerLossError
 from ..sim import Event, Resource, Simulator
@@ -121,6 +122,11 @@ class BlockDevice:
         self.size_bytes = size_bytes
         self.model = model
         self.channels = Resource(sim, model.channels)
+        # Commands waiting for a free channel, FIFO.  A plain deque of
+        # (bio, extra_time, done) tuples: queueing a command costs no
+        # waiter Event and no closure, and the grant hop a releasing
+        # command queues is a direct ``_grant`` continuation.
+        self._channel_queue: Deque[Tuple[Bio, float, Event]] = deque()
         self.stats = DeviceStats()
         self.failed = False
         self.powered = True
@@ -149,16 +155,18 @@ class BlockDevice:
 
     # -- the public IO interface ----------------------------------------------
 
-    def submit(self, bio: Bio) -> Event:
+    def submit(self, bio: Bio, done: Optional[Event] = None) -> Event:
         """Submit ``bio``; the returned event succeeds with the completed bio.
 
         Command validation and logical state changes happen synchronously
         here, in submission order.  The event fails with a ``DeviceError``
         on invalid commands and with ``DeviceFailedError`` if the device has
-        failed.
+        failed.  ``done`` lets a caller that recycles completion events
+        through ``Simulator.recycle`` supply a pooled one.
         """
         bio.submit_time = self.sim.now
-        done = Event(self.sim)
+        if done is None:
+            done = self.sim.event()
         if self.failed:
             self._reject(bio, done,
                          DeviceFailedError(f"{self.name} has failed"))
@@ -204,10 +212,7 @@ class BlockDevice:
             channels.in_use += 1
             self._grant(bio, extra_time, done)
         else:
-            request = Event(self.sim)
-            request.add_callback(
-                lambda _ev, b=bio, x=extra_time, d=done: self._grant(b, x, d))
-            channels._waiters.append(request)
+            self._channel_queue.append((bio, extra_time, done))
         return done
 
     def execute(self, bio: Bio) -> Bio:
@@ -248,7 +253,15 @@ class BlockDevice:
 
     def _channel_done(self, bio: Bio, done: Event) -> None:
         """Occupancy over: free the channel, wait out the pipeline latency."""
-        self.channels.release()
+        queue = self._channel_queue
+        if queue:
+            # Hand the channel straight to the next queued command.  The
+            # grant goes through the now-queue — the same hop the waiter
+            # Event's dispatch used to take — so the occupancy RNG draw
+            # happens at exactly the same point in the event order.
+            self.sim._now_queue.append((self._grant, queue.popleft()))
+        else:
+            self.channels.in_use -= 1
         pipeline = self.model.pipeline_latency(bio.op)
         if pipeline > 0:
             self.sim.schedule(pipeline, self._complete, bio, done)
@@ -338,3 +351,19 @@ class BlockDevice:
         """Process-style cache flush."""
         bio = yield self.submit(Bio.flush())
         return bio
+
+
+def submit_many(
+        commands: Iterable[Tuple["BlockDevice", Bio, Optional[Event]]]
+) -> List[Event]:
+    """Submit a batch of ``(device, bio, done)`` commands in one step.
+
+    The upper layer (the RAIZN volume hands a whole stripe's device
+    commands here) builds the batch while computing its fan-out, then
+    submits everything with a single call.  Commands are applied strictly
+    in batch order, so per-device submission order — and with it every
+    zone write-pointer check and channel-grant RNG draw — is identical to
+    issuing the same ``submit`` calls one by one.  Tracer spans are still
+    attributed per command by each device's completion path.
+    """
+    return [device.submit(bio, done) for device, bio, done in commands]

@@ -54,13 +54,14 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import statistics
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..block.bio import Bio, BioFlags
 from ..raizn.config import RaiznConfig
 from ..raizn.volume import RaiznVolume
-from ..sim import Resource, Simulator, simulation_gc
+from ..sim import Simulator, simulation_gc
 from ..units import KiB, MiB
 from ..zns.device import ZNSDevice
 
@@ -110,12 +111,19 @@ class ScenarioResult:
     sim_seconds: float
     mib_per_wall_second: float
     digest: str
+    #: Median and population stddev of the per-repeat wall times: the
+    #: best-of-N number above is the rate estimate, these two say how
+    #: noisy the machine was while producing it.
+    wall_median_seconds: float = 0.0
+    wall_stddev_seconds: float = 0.0
 
     def to_json(self) -> Dict[str, object]:
         return {
             "name": self.name,
             "simulated_bytes": self.simulated_bytes,
             "wall_seconds": round(self.wall_seconds, 4),
+            "wall_median_seconds": round(self.wall_median_seconds, 4),
+            "wall_stddev_seconds": round(self.wall_stddev_seconds, 4),
             "sim_seconds": round(self.sim_seconds, 6),
             "mib_per_wall_second": round(self.mib_per_wall_second, 1),
             "digest": self.digest,
@@ -175,39 +183,105 @@ def _payload(nbytes: int, seed: int) -> bytes:
     return (block * (nbytes // len(block) + 1))[:nbytes]
 
 
+class _Driver:
+    """Callback-style issue loop: ``iodepth`` bios in flight, FIFO order.
+
+    A transliteration of the former generator driver (``yield
+    window.request()`` per bio, then drain) without a generator frame,
+    resource object, or grant event per IO.  Every now-queue hop of the
+    process version is preserved 1:1 — grant hops land in the same slots,
+    waiter wake-ups ride the same single-callback dispatch — so fixed-seed
+    digests are unchanged while the per-bio process machinery (generator
+    send, resume trampoline, request-event allocation) disappears from
+    the measured wall time.
+    """
+
+    __slots__ = ("sim", "volume", "requests", "in_flight", "iodepth",
+                 "index", "drain_index", "completions", "failures", "waiting")
+
+    def __init__(self, sim: Simulator, volume: RaiznVolume,
+                 requests: List[Bio], iodepth: int):
+        self.sim = sim
+        self.volume = volume
+        self.requests = requests
+        self.iodepth = iodepth
+        self.in_flight = 0
+        self.index = 0
+        self.drain_index = 0
+        self.completions: List = []
+        self.failures: List[BaseException] = []
+        #: True while the issue loop is parked on a full window; at most
+        #: one step ever waits (the loop is sequential), so this replaces
+        #: the resource's waiter queue.
+        self.waiting = False
+
+    def _start(self) -> None:
+        """Process-start hop: request the first window slot (no submit)."""
+        if self.requests:
+            self.in_flight += 1
+            self.sim._now_queue.append((self._step, ()))
+
+    def _step(self) -> None:
+        event = self.volume.submit(self.requests[self.index])
+        self.index += 1
+        event.add_callback(self._on_done)
+        self.completions.append(event)
+        if self.failures:
+            raise self.failures[0]
+        if self.index < len(self.requests):
+            if self.in_flight < self.iodepth:
+                # Slot free: queue the next issue step exactly where the
+                # pre-triggered request event's continuation hop used to
+                # land.
+                self.in_flight += 1
+                self.sim._now_queue.append((self._step, ()))
+            else:
+                self.waiting = True
+        else:
+            self._drain()
+
+    def _on_done(self, event) -> None:
+        if self.waiting:
+            # Hand the slot straight to the parked issue step (in-flight
+            # count unchanged), in the dispatch slot the released request
+            # event's wake-up used to occupy.
+            self.waiting = False
+            self.sim._now_queue.append((self._step, ()))
+        else:
+            self.in_flight -= 1
+        if not event.ok:
+            self.failures.append(event.value)
+
+    def _drain(self) -> None:
+        completions = self.completions
+        index = self.drain_index
+        while index < len(completions):
+            event = completions[index]
+            index += 1
+            if not event.triggered:
+                self.drain_index = index
+                event.add_callback(self._drained)
+                return
+        if self.failures:
+            raise self.failures[0]
+
+    def _drained(self, event) -> None:
+        if not event.ok:
+            raise event.value
+        self._drain()
+
+
 def _drive(sim: Simulator, volume: RaiznVolume,
            requests: List[Bio], iodepth: int) -> int:
     """Issue ``requests`` in order with ``iodepth`` in flight; drain all."""
-    moved = 0
-
-    def driver():
-        window = Resource(sim, iodepth)
-        failures: List[BaseException] = []
-        completions = []
-
-        def on_done(event) -> None:
-            window.release()
-            if not event.ok:
-                failures.append(event.value)
-
-        for bio in requests:
-            yield window.request()
-            event = volume.submit(bio)
-            event.add_callback(on_done)
-            completions.append(event)
-            if failures:
-                raise failures[0]
-        for event in completions:
-            if not event.triggered:
-                yield event
-        if failures:
-            raise failures[0]
-
-    proc = sim.process(driver())
+    driver = _Driver(sim, volume, requests, iodepth)
+    sim.schedule(0.0, driver._start)
     with simulation_gc():
         sim.run()
-    if not proc.ok:
-        raise proc.value
+    if driver.index < len(requests) or \
+            not all(e.triggered for e in driver.completions):
+        raise RuntimeError("driver stalled before draining all requests")
+    moved = 0
     for bio in requests:
         moved += bio.length
     return moved
@@ -300,14 +374,14 @@ def _run_scenario(name: str, scale: PerfScale, seed: int,
     simulator's speed (standard best-of-N benchmarking practice).
     """
     builder: Callable[..., Tuple] = _SCENARIOS[name]
-    best_wall: Optional[float] = None
+    walls: List[float] = []
     digest: Optional[str] = None
     for _ in range(max(1, repeats)):
         sim, volume, devices, bios = builder(scale, seed)
         sim_start = sim.now
         wall_start = time.perf_counter()
         moved = _drive(sim, volume, bios, scale.iodepth)
-        wall = time.perf_counter() - wall_start
+        walls.append(time.perf_counter() - wall_start)
         run_digest = _digest_state(sim, volume, devices)
         if digest is None:
             digest = run_digest
@@ -315,10 +389,9 @@ def _run_scenario(name: str, scale: PerfScale, seed: int,
             raise AssertionError(
                 f"{name}: digest varies across same-seed repeats "
                 f"({digest[:16]} vs {run_digest[:16]})")
-        if best_wall is None or wall < best_wall:
-            best_wall = wall
         sim_seconds = sim.now - sim_start
-    assert best_wall is not None and digest is not None
+    assert walls and digest is not None
+    best_wall = min(walls)
     return ScenarioResult(
         name=name,
         simulated_bytes=moved,
@@ -326,6 +399,9 @@ def _run_scenario(name: str, scale: PerfScale, seed: int,
         sim_seconds=sim_seconds,
         mib_per_wall_second=(moved / MiB) / best_wall if best_wall else 0.0,
         digest=digest,
+        wall_median_seconds=statistics.median(walls),
+        wall_stddev_seconds=statistics.pstdev(walls) if len(walls) > 1
+        else 0.0,
     )
 
 
@@ -460,13 +536,40 @@ _SCENARIOS = {
 # -- entry points ---------------------------------------------------------------
 
 
+def _run_scenario_job(packed: Tuple[str, bool, int, int]) -> ScenarioResult:
+    """Module-level trampoline so worker processes can unpickle the call."""
+    name, fast, seed, repeats = packed
+    return _run_scenario(name, FAST_SCALE if fast else FULL_SCALE, seed,
+                         repeats)
+
+
 def run_datapath_bench(fast: bool = False, seed: int = 20230403,
                        only: Optional[List[str]] = None,
-                       repeats: int = 1) -> PerfReport:
-    """Run the macro-benchmark; returns per-scenario rates and a digest."""
+                       repeats: int = 1, jobs: int = 1,
+                       paired_tracing: bool = True) -> PerfReport:
+    """Run the macro-benchmark; returns per-scenario rates and a digest.
+
+    ``jobs > 1`` fans the scenarios out over worker processes.  Each
+    scenario is a self-contained fixed-seed simulation, so parallelism
+    cannot change any digest; results are merged back in ``SCENARIO_NAMES``
+    order regardless of completion order, making the report byte-for-byte
+    identical to a sequential run apart from wall times (which then
+    measure contended CPUs — use ``jobs=1`` for committed numbers).
+    """
     scale = FAST_SCALE if fast else FULL_SCALE
     names = [n for n in SCENARIO_NAMES if only is None or n in only]
-    results = [_run_scenario(name, scale, seed, repeats) for name in names]
+    if jobs > 1 and len(names) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(jobs, len(names))) as pool:
+            # pool.map returns results in submission order: the merge is
+            # deterministic no matter which worker finishes first.
+            results = pool.map(_run_scenario_job,
+                               [(name, fast, seed, repeats)
+                                for name in names])
+    else:
+        results = [_run_scenario(name, scale, seed, repeats)
+                   for name in names]
     by_name = {r.name: r for r in results}
     tracing_pct: Optional[float] = None
     if "seq_write" in by_name and "tracing_overhead" in by_name:
@@ -476,7 +579,8 @@ def run_datapath_bench(fast: bool = False, seed: int = 20230403,
             raise AssertionError(
                 "tracing is not inert: traced seq_write digest "
                 f"{traced.digest[:16]} != untraced {base.digest[:16]}")
-        tracing_pct = _paired_tracing_overhead(scale, seed, repeats)
+        if paired_tracing:
+            tracing_pct = _paired_tracing_overhead(scale, seed, repeats)
     combined = hashlib.sha256()
     for result in results:
         combined.update(result.digest.encode())
@@ -510,6 +614,31 @@ def format_report(report: PerfReport) -> str:
     return "\n".join(lines)
 
 
+def check_digests(report: PerfReport, reference_path: str) -> List[str]:
+    """Compare the report's digests against a committed report JSON.
+
+    Returns a list of human-readable mismatch descriptions (empty when
+    every scenario digest present in both reports agrees).  Wall times
+    and rates are machine-dependent and deliberately not compared.
+    """
+    import json
+
+    with open(reference_path) as fh:
+        reference = json.load(fh)
+    ref_digests = {s["name"]: s["digest"]
+                   for s in reference.get("scenarios", [])}
+    problems = []
+    for result in report.scenarios:
+        expected = ref_digests.get(result.name)
+        if expected is None:
+            continue
+        if result.digest != expected:
+            problems.append(
+                f"{result.name}: digest {result.digest[:16]}... != "
+                f"committed {expected[:16]}...")
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> None:
     import argparse
     import os
@@ -520,11 +649,39 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--only", action="append", choices=SCENARIO_NAMES)
     parser.add_argument("--repeat", type=int, default=3,
                         help="best-of-N wall-clock measurement (default 3)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run scenarios in N worker processes "
+                        "(deterministic merge; wall times then measure "
+                        "contended CPUs)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: single repeat, skip the "
+                        "paired tracing-overhead measurement (digests are "
+                        "unaffected)")
+    parser.add_argument("--check", metavar="REFERENCE_JSON",
+                        help="compare scenario digests against a committed "
+                        "report (e.g. BENCH_datapath.json); exit 1 on "
+                        "mismatch")
+    parser.add_argument("--profile", metavar="PSTATS_PATH",
+                        help="run under cProfile and dump pstats data to "
+                        "PSTATS_PATH")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the report as JSON to PATH")
     args = parser.parse_args(argv)
-    report = run_datapath_bench(fast=args.fast, only=args.only,
-                                repeats=args.repeat)
+    repeats = 1 if args.quick else args.repeat
+    kwargs = dict(fast=args.fast, only=args.only, repeats=repeats,
+                  jobs=args.jobs, paired_tracing=not args.quick)
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report = run_datapath_bench(**kwargs)
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(f"profile written to {args.profile} "
+              "(inspect with `python -m pstats`)")
+    else:
+        report = run_datapath_bench(**kwargs)
     print(format_report(report))
     if args.json:
         import json
@@ -532,6 +689,13 @@ def main(argv: Optional[List[str]] = None) -> None:
         with open(args.json, "w") as fh:
             json.dump(report.to_json(), fh, indent=2)
             fh.write("\n")
+    if args.check:
+        problems = check_digests(report, args.check)
+        if problems:
+            for problem in problems:
+                print(f"DIGEST MISMATCH: {problem}")
+            raise SystemExit(1)
+        print(f"digests match {args.check}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -79,6 +79,16 @@ class AddressMapper:
 
     # -- stripe layout ---------------------------------------------------------
 
+    @property
+    def num_rotations(self) -> int:
+        """Period of the parity rotation: layouts repeat every N stripes.
+
+        Two stripes with the same ``(stripe + zone) % num_rotations``
+        phase share their device assignment — the invariant behind the
+        write path's phase-keyed plan cache.
+        """
+        return len(self._layouts)
+
     def stripe_layout(self, zone: int, stripe: int) -> StripeLocation:
         """Device assignment for one stripe (left-symmetric rotation)."""
         return self._layouts[(stripe + zone) % len(self._layouts)]

@@ -116,7 +116,7 @@ class DeviceMetadataZones:
         return bio.result
 
     def append_async(self, role: MetadataRole, entry: MetadataEntry,
-                     fua: bool = False) -> Event:
+                     fua: bool = False, batch: list = None) -> Event:
         """Callback-style :meth:`append`; succeeds with the landing PBA.
 
         Semantically identical to ``sim.process(mdz.append(...))`` but
@@ -125,8 +125,12 @@ class DeviceMetadataZones:
         dominated wall time.  Each step is queued exactly where the
         process version's resumptions fell, keeping fixed-seed event
         ordering (and with it every RNG draw) byte-identical.
+
+        When ``batch`` is given, the start hop is appended to it as a
+        ``(fn, args)`` call instead of being scheduled — the caller owns
+        one ``schedule_batch`` entry covering a whole stripe's appends.
         """
-        done = Event(self.sim)
+        done = self.sim.event()
         tracer = self.device.tracer
         if tracer is not None:
             # The md span covers lock wait, any log rotation, and the
@@ -142,7 +146,10 @@ class DeviceMetadataZones:
                                                      self.device.name)
             done.add_callback(tracer.begin_at(site))
         # Hop 1 stands in for the deferred process start.
-        self.sim.schedule(0.0, self._append_start, role, entry, fua, done)
+        if batch is not None:
+            batch.append((self._append_start, (role, entry, fua, done)))
+        else:
+            self.sim.schedule(0.0, self._append_start, role, entry, fua, done)
         return done
 
     def _append_start(self, role: MetadataRole, entry: MetadataEntry,
@@ -160,6 +167,9 @@ class DeviceMetadataZones:
         if lock.in_use < lock.capacity:
             # Uncontended: take the lock and queue the next step, matching
             # the process version's hop through its triggered-yield path.
+            # (Running the locked step inline here reorders md submissions
+            # relative to interleaved same-tick work and shifts the fixed
+            # seed digests — measured, not hypothetical.)
             lock.in_use += 1
             self.sim.schedule(0.0, self._append_locked, role, encoded, fua,
                               done)
@@ -214,11 +224,16 @@ class DeviceMetadataZones:
         done.succeed(bio.result)
 
     def _append_done(self, event: Event, nbytes: int, done: Event) -> None:
+        value = event.value
         if event.ok:
+            # The submit event is exclusively ours and fully drained (the
+            # succeed fast path cleared its callback slot) — return it to
+            # the simulator's freelist instead of leaving it to the GC.
+            self.sim.recycle(event)
             self.appended_bytes += nbytes
-            done.succeed(event.value.result)
+            done.succeed(value.result)
         else:
-            done.fail(event.value)
+            done.fail(value)
 
     def remaining(self, role: MetadataRole) -> int:
         """Bytes left in the role's current zone."""

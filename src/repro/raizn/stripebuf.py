@@ -16,9 +16,24 @@ import numpy as np
 from ..errors import RaiznError
 from .parity import xor_into
 
+#: Recycled stripe-width backing arrays, keyed by width.  Zeroing a fresh
+#: multi-hundred-KiB bytearray per stripe dominated buffer cost, so arrays
+#: are reused WITHOUT re-zeroing: every read of a buffer (``full_parity``,
+#: ``data_unit``, and the volume's tail-stripe read paths, which only
+#: serve written LBAs) is bounded by ``fill_end``, so stale bytes past the
+#: fill can never be observed.  Process-wide on purpose — arrays carry no
+#: identity beyond their size.
+_free_arrays: Dict[int, List[bytearray]] = {}
+_FREE_ARRAYS_MAX = 64
+
 
 class StripeBuffer:
-    """Data of one in-flight stripe, filled strictly left to right."""
+    """Data of one in-flight stripe, filled strictly left to right.
+
+    Bytes at and past ``fill_end`` are unspecified (the backing array is
+    pooled); every accessor treats them as zeroes, preserving the §5.1
+    zero-padding rule.
+    """
 
     __slots__ = ("zone", "stripe", "num_data", "su", "data", "fill_end")
 
@@ -27,9 +42,17 @@ class StripeBuffer:
         self.stripe = stripe
         self.num_data = num_data
         self.su = su
-        self.data = bytearray(num_data * su)
+        free = _free_arrays.get(num_data * su)
+        self.data = free.pop() if free else bytearray(num_data * su)
         #: Bytes filled from the start of the stripe (writes are sequential).
         self.fill_end = 0
+
+    def recycle(self) -> None:
+        """Return the backing array to the pool; the buffer dies here."""
+        free = _free_arrays.setdefault(len(self.data), [])
+        if len(free) < _FREE_ARRAYS_MAX:
+            free.append(self.data)
+        self.data = b""
 
     @property
     def width(self) -> int:
@@ -53,13 +76,37 @@ class StripeBuffer:
 
     def full_parity(self) -> bytes:
         """Parity SU over the (zero-padded) current contents."""
-        units = np.frombuffer(self.data, dtype=np.uint8).reshape(
-            self.num_data, self.su)
-        return np.bitwise_xor.reduce(units, axis=0).tobytes()
+        su = self.su
+        fill_end = self.fill_end
+        if fill_end == self.num_data * su:
+            units = np.frombuffer(self.data, dtype=np.uint8).reshape(
+                self.num_data, su)
+            return np.bitwise_xor.reduce(units, axis=0).tobytes()
+        # Partial stripe: only bytes below the fill end exist; the pooled
+        # backing array is NOT zeroed past it, so fold exactly the filled
+        # units and the tail fragment into a zero accumulator.
+        view = np.frombuffer(self.data, dtype=np.uint8)
+        full_units = fill_end // su
+        if full_units:
+            acc = np.bitwise_xor.reduce(
+                view[:full_units * su].reshape(full_units, su), axis=0)
+        else:
+            acc = np.zeros(su, dtype=np.uint8)
+        tail = fill_end - full_units * su
+        if tail:
+            acc[:tail] ^= view[full_units * su:fill_end]
+        return acc.tobytes()
 
     def data_unit(self, su_index: int) -> bytes:
         """Contents of data SU ``su_index`` (zero-padded past the fill end)."""
-        return bytes(self.data[su_index * self.su:(su_index + 1) * self.su])
+        su = self.su
+        start = su_index * su
+        fill_end = self.fill_end
+        if start + su <= fill_end:
+            return bytes(self.data[start:start + su])
+        if start >= fill_end:
+            return bytes(su)
+        return bytes(self.data[start:fill_end]) + bytes(start + su - fill_end)
 
     @staticmethod
     def delta_parity(offset: int, chunk: bytes, su: int) -> Tuple[int, bytes]:
@@ -70,15 +117,20 @@ class StripeBuffer:
         SU-relative parity positions.  The returned delta is trimmed to the
         affected interval, minimizing the log footprint ("RAIZN only logs
         the subset of parity that is affected by the write", §5.1).
+
+        The delta may be any readable buffer: the single-unit fast path
+        returns ``chunk`` itself (often a memoryview slice of the logical
+        bio's payload), borrowed with the same no-mutation-while-in-flight
+        contract as :meth:`Bio.write`.
         """
         if not chunk:
             raise RaiznError("empty chunk has no parity contribution")
         in_su = offset % su
         if in_su + len(chunk) <= su:
             # The common case: the chunk sits inside one stripe unit, so
-            # its parity contribution is the chunk itself — no SU-sized
-            # accumulator to allocate and XOR against zeroes.
-            return in_su, bytes(chunk)
+            # its parity contribution is the chunk itself — no copy and no
+            # SU-sized accumulator to XOR against zeroes.
+            return in_su, chunk
         acc = bytearray(su)
         lo, hi = su, 0
         position = 0
@@ -126,7 +178,9 @@ class StripeBufferPool:
 
     def release(self, stripe: int) -> None:
         """Free the slot held by ``stripe`` (after its full parity is safe)."""
-        self._buffers.pop(stripe, None)
+        buffer = self._buffers.pop(stripe, None)
+        if buffer is not None:
+            buffer.recycle()
 
     def active(self) -> List[StripeBuffer]:
         """All currently held buffers, in stripe order."""
@@ -134,6 +188,8 @@ class StripeBufferPool:
 
     def clear(self) -> None:
         """Drop every buffer (zone reset)."""
+        for buffer in self._buffers.values():
+            buffer.recycle()
         self._buffers.clear()
 
     @property

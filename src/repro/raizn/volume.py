@@ -19,7 +19,7 @@ import os
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..block.bio import Bio, BioFlags, Op
-from ..block.device import DeviceStats
+from ..block.device import DeviceStats, submit_many
 from ..errors import (
     DataLossError,
     DegradedModeError,
@@ -60,8 +60,193 @@ from .zonedesc import LogicalZoneDesc, PhysicalZoneDesc
 #: Plain-int FUA mask: the write fan-out tests sub-IO flags per piece,
 #: and ``IntFlag.__and__`` costs a dynamic class lookup per call.
 _FUA = int(BioFlags.FUA)
+_PREFLUSH = int(BioFlags.PREFLUSH)
+
+#: Upper bound on the per-volume write-plan cache.  Keys are
+#: ``(zone, offset-in-zone, length)``; steady-state workloads cycle
+#: through a tiny working set, so the cap exists only to bound a
+#: pathological scan over every possible offset.
+_PLAN_CACHE_MAX = 65536
 
 SUPERBLOCK_VERSION = 1
+
+
+class _WriteJoin:
+    """Join point for one logical write's fan-out (pooled, hop-exact).
+
+    Replaces the per-write ``Gather`` over per-piece outcome events with
+    direct counting: device completions and metadata appends report in
+    via one shared object instead of allocating an outcome ``Event`` and
+    a closure per piece.  Every reporting path queues exactly the same
+    number of now-queue hops the event/gather implementation used, so
+    fixed-seed event ordering — and with it every RNG draw and digest —
+    is byte-identical (see DESIGN.md).
+
+    Children come in three flavours, matching the old hop structure:
+
+    - device pieces: ``_write_attempted`` queues ``_child_ok`` /
+      ``_child_fail`` where the outcome event used to trigger the
+      gather's callback (one hop);
+    - metadata appends: ``_on_child`` runs as the append event's own
+      callback (one hop, like ``Gather._on_child``);
+    - redirected pieces: ``_on_child_hop`` adds the extra hop the old
+      ``_chain`` forwarder introduced (two hops).
+    """
+
+    __slots__ = ("volume", "sim", "bio", "done", "desc", "fua_devices",
+                 "_count", "_armed", "_failed", "_flush_pending",
+                 "_flush_failed")
+
+    def __init__(self, volume: "RaiznVolume"):
+        self.volume = volume
+        self.sim = volume.sim
+        self.bio: Optional[Bio] = None
+        self.done: Optional[Event] = None
+        self.desc = None
+        self.fua_devices: Set[int] = set()
+        self._count = 0
+        self._armed = False
+        self._failed = False
+        self._flush_pending = 0
+        self._flush_failed = False
+
+    def _reset(self, bio: Bio, done: Event, desc) -> None:
+        self.bio = bio
+        self.done = done
+        self.desc = desc
+        self.fua_devices.clear()
+        self._count = 0
+        self._armed = False
+        self._failed = False
+        self._flush_pending = 0
+        self._flush_failed = False
+
+    # -- fan-out bookkeeping ------------------------------------------------
+
+    def _arm(self) -> None:
+        """Last call of the fan-out batch: all children are registered."""
+        self._armed = True
+        if self._count == 0 and not self._failed:
+            # Degenerate fan-out (fully degraded write): mimic the empty
+            # gather's two-hop completion so event order is unchanged.
+            self.sim.schedule(0.0, self._queue_fired)
+
+    def _queue_fired(self) -> None:
+        self.sim._now_queue.append((self._fired, ()))
+
+    def _child_ok(self) -> None:
+        if self._failed:
+            return
+        self._count -= 1
+        if self._count == 0 and self._armed:
+            self.sim._now_queue.append((self._fired, ()))
+
+    def _child_fail(self, exc: BaseException) -> None:
+        if self._failed:
+            return
+        self._failed = True
+        self.sim._now_queue.append((self._fired_fail, (exc,)))
+
+    def _on_child(self, event: Event) -> None:
+        """Completion callback of a metadata-append child."""
+        if self._failed:
+            return
+        if not event.ok:
+            self._failed = True
+            self.sim._now_queue.append((self._fired_fail, (event.value,)))
+            return
+        self.sim.recycle(event)
+        self._count -= 1
+        if self._count == 0 and self._armed:
+            self.sim._now_queue.append((self._fired, ()))
+
+    def _on_child_hop(self, event: Event) -> None:
+        """Completion callback of a redirected child (extra hop, as _chain)."""
+        if event.ok:
+            self.sim.recycle(event)
+            self.sim._now_queue.append((self._child_ok, ()))
+        else:
+            self.sim._now_queue.append((self._child_fail, (event.value,)))
+
+    # -- completion ---------------------------------------------------------
+
+    def _fired(self) -> None:
+        bio = self.bio
+        if bio.flags & (_FUA | _PREFLUSH):
+            events = self.volume._flush_unpersisted(self.desc, bio,
+                                                    self.fua_devices)
+            self._flush_pending = len(events)
+            if not events:
+                self.sim.schedule(0.0, self._queue_flushed)
+                return
+            callback = self._on_flush_child
+            for event in events:
+                event.add_callback(callback)
+            return
+        bio.complete_time = self.sim.now
+        done = self.done
+        self._release()
+        done.succeed(bio)
+
+    def _fired_fail(self, exc: BaseException) -> None:
+        if self.done.triggered:
+            # The fan-out itself raised at submission; ``submit`` already
+            # failed the logical bio and this straggler has nothing to add
+            # (the gather implementation never even saw it).
+            return
+        if isinstance(exc, DeviceError):
+            self.done.fail(exc)
+            return
+        raise exc
+
+    def _queue_flushed(self) -> None:
+        self.sim._now_queue.append((self._flushed, ()))
+
+    def _on_flush_child(self, event: Event) -> None:
+        if self._flush_failed:
+            return
+        if not event.ok:
+            self._flush_failed = True
+            self.sim._now_queue.append((self._flushed_fail, (event.value,)))
+            return
+        self.sim.recycle(event)
+        self._flush_pending -= 1
+        if self._flush_pending == 0:
+            self.sim._now_queue.append((self._flushed, ()))
+
+    def _flushed(self) -> None:
+        bio = self.bio
+        desc = self.desc
+        # Only stripe units *fully* below the durable point may be marked.
+        # A partial tail SU is durable right now, but a later plain write
+        # can extend it in the device cache — a set bit would then be
+        # stale, the next FUA would skip flushing that device, and a crash
+        # could lose acknowledged data.
+        desc.persistence.mark_up_to(desc.su_index_of(bio.end_offset))
+        bio.complete_time = self.sim.now
+        done = self.done
+        self._release()
+        done.succeed(bio)
+
+    def _flushed_fail(self, exc: BaseException) -> None:
+        if isinstance(exc, DeviceError):
+            self.done.fail(exc)
+            return
+        raise exc
+
+    def _release(self) -> None:
+        """Return this join to the volume pool (clean completions only).
+
+        Failure paths leave the join to the garbage collector: stragglers
+        of a failed fan-out may still hold a reference and report in.
+        """
+        free = self.volume._join_free
+        if len(free) < 64:
+            self.bio = None
+            self.done = None
+            self.desc = None
+            self.fua_devices.clear()
+            free.append(self)
 
 
 class RebuildState:
@@ -347,6 +532,16 @@ class RaiznVolume:
             self.attach_tracer(Tracer(sim))
         #: Pending (bio, done) pairs per zone blocked by an in-flight reset.
         self._reset_pending: Dict[int, List[Tuple[Bio, Event]]] = {}
+        #: Cached submission schedules keyed (rotation phase, offset in
+        #: first stripe, length): the pure-geometry half of the write
+        #: fan-out (stripe/piece bounds, target devices, stripe-relative
+        #: addresses), so steady-state appends skip the address
+        #: arithmetic.  Runtime state — device availability, write-pointer
+        #: conflicts, relocations — is still checked at execution.
+        self._plan_cache: Dict[Tuple[int, int, int], tuple] = {}
+        self._num_rotations = self.mapper.num_rotations
+        #: Recycled :class:`_WriteJoin` objects (see its docstring).
+        self._join_free: List[_WriteJoin] = []
         # Logical open-zone budget: each device spends open slots on its
         # partial-parity and general metadata zones.
         self.max_open_logical = max(1, template.max_open_zones - 2)
@@ -462,7 +657,7 @@ class RaiznVolume:
     def submit(self, bio: Bio) -> Event:
         """Submit a logical bio; the event succeeds with the completed bio."""
         bio.submit_time = self.sim.now
-        done = Event(self.sim)
+        done = self.sim.event()
         tracer = self.tracer
         if tracer is not None:
             sites = self._tr_vol_sites
@@ -761,83 +956,152 @@ class RaiznVolume:
         if desc.write_pointer == desc.writable_end:
             self._set_logical_state(desc, ZoneState.FULL)
 
-        sub_events: List[Event] = []
-        fua_devices: Set[int] = set()
+        # Pure geometry of this write — stripe segmentation, per-device
+        # piece bounds, target addresses — is cached in stripe-relative
+        # form.  Device assignment repeats every ``num_rotations`` stripes
+        # and everything else is an offset from the write's first stripe,
+        # so the key is (rotation phase, offset within stripe, length):
+        # a steady sequential workload cycles through a handful of keys
+        # and skips the per-piece address arithmetic entirely.  Runtime
+        # checks (availability, conflicts) still happen below.
+        width = desc.stripe_width
+        in_zone = bio.offset - desc.start_lba
+        stripe0 = in_zone // width
+        key = ((stripe0 + zone) % self._num_rotations,
+               in_zone - stripe0 * width, bio.length)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            if len(self._plan_cache) >= _PLAN_CACHE_MAX:
+                self._plan_cache.clear()
+            plan = self._plan_cache[key] = self._build_write_plan(
+                desc, bio.offset, bio.length)
+        pba_base = zone * self.phys_zone_size + \
+            stripe0 * self.config.stripe_unit_bytes
+        lba_base = desc.start_lba + stripe0 * width
+
+        free = self._join_free
+        join = free.pop() if free else _WriteJoin(self)
+        join._reset(bio, done, desc)
         # Plain int (0 or FUA): tested per fan-out piece below, and Bio
         # stores flags as an int anyway.
         sub_flags = bio.flags & _FUA
-        offset = bio.offset
         # Fan out through a memoryview so every per-stripe chunk and
         # per-device piece below is a zero-copy slice of the caller's
         # payload; devices copy exactly once, into their media.
         data = memoryview(bio.data) if bio.data else memoryview(b"")
-        position = 0
-        while position < len(data):
-            lba = offset + position
-            in_zone = lba - desc.start_lba
-            stripe = in_zone // desc.stripe_width
-            in_stripe = in_zone % desc.stripe_width
-            take = min(len(data) - position,
-                       desc.stripe_width - in_stripe)
-            chunk = data[position:position + take]
-            self._write_stripe_segment(desc, stripe, in_stripe, chunk,
-                                       sub_flags, sub_events, fua_devices)
-            position += take
+        # Device commands and deferred zero-delay hops are collected and
+        # dispatched together at the end of the fan-out: the whole
+        # stripe's commands go to the block layer in one ``submit_many``
+        # step and its metadata appends ride one batched scheduler entry.
+        # Per-device submission order is the piece order either way, so
+        # every channel grant — and with it every RNG draw — is unmoved.
+        cmds: List[tuple] = []
+        batch: List[tuple] = []
+        try:
+            row = self._tr_stripe_row
+            for (dstripe, in_stripe, seg_lo, seg_hi, pieces, completes,
+                 parity_device, rel_ppba, rel_slba) in plan:
+                stripe = stripe0 + dstripe
+                chunk = data[seg_lo:seg_hi]
+                buffer = desc.buffers.acquire(stripe)
+                if buffer is None:
+                    raise RaiznError(
+                        f"zone {zone}: all "
+                        f"{self.config.stripe_buffers_per_zone} "
+                        "stripe buffers occupied (should not happen: writes "
+                        "are sequential, so only the tail stripe is ever "
+                        "incomplete)")
+                buffer.absorb(in_stripe, chunk)
+                if row is not None:
+                    row[0] += 1
+                    row[2] += seg_hi - seg_lo
+                for device, rel_pba, rel_lba, piece_lo, piece_hi in pieces:
+                    self._emit_data_piece(join, desc, device,
+                                          pba_base + rel_pba,
+                                          lba_base + rel_lba,
+                                          data[piece_lo:piece_hi], sub_flags,
+                                          cmds, batch)
+                if completes:
+                    self._emit_full_parity(join, desc, stripe, parity_device,
+                                           pba_base + rel_ppba,
+                                           lba_base + rel_slba, buffer,
+                                           in_stripe, chunk, sub_flags,
+                                           cmds, batch)
+                    desc.buffers.release(stripe)
+                else:
+                    self._emit_partial_parity(join, desc, stripe,
+                                              parity_device,
+                                              lba_base + rel_slba,
+                                              in_stripe, chunk,
+                                              bool(sub_flags), batch)
+        except BaseException:
+            # Mirror the pre-batch failure shape: everything emitted before
+            # the raise was already submitted/scheduled, and the join is
+            # never armed (``submit`` fails the logical bio).
+            submit_many(cmds)
+            if batch:
+                self.sim.schedule_batch(0.0, batch)
+            raise
 
         self.stats.account(bio)
-        # Completion runs as a callback chain rather than a generator
-        # process (one fewer allocation and several fewer scheduler
-        # round-trips per logical write); the 0-delay hop stands in for
-        # the process start so event ordering is unchanged.
-        self.sim.schedule(0.0, self._finish_write, bio, done, desc,
-                          sub_events, fua_devices)
+        submit_many(cmds)
+        # The arm call runs after every sibling append's start hop, in the
+        # now-queue slot the old completion-chain hop occupied.
+        batch.append((join._arm, ()))
+        self.sim.schedule_batch(0.0, batch)
 
-    def _write_stripe_segment(self, desc: LogicalZoneDesc, stripe: int,
-                              in_stripe: int, chunk: bytes,
-                              sub_flags: int, sub_events: List[Event],
-                              fua_devices: Set[int]) -> None:
+    def _build_write_plan(self, desc: LogicalZoneDesc, offset: int,
+                          length: int) -> tuple:
+        """Precompute the submission schedule for a write at ``offset``.
+
+        Returns a tuple of per-stripe segments
+        ``(dstripe, in_stripe, seg_lo, seg_hi, pieces, completes,
+        parity_device, rel_ppba, rel_slba)`` where ``pieces`` is a tuple
+        of ``(device, rel_pba, rel_lba, piece_lo, piece_hi)``.  The
+        ``*_lo``/``*_hi`` bounds index the bio payload; all other
+        addresses are relative to the write's first stripe (``dstripe``
+        counts stripes from it, ``rel_pba``/``rel_ppba`` are offsets
+        from its first PBA in the zone, ``rel_lba``/``rel_slba`` from
+        its first LBA).  Device assignment depends only on the parity
+        rotation phase of the first stripe, so the relative plan is
+        shared by every (zone, offset) with the same phase — the caller
+        keys the cache accordingly and adds the bases back.
+        """
+        su = self.config.stripe_unit_bytes
         zone = desc.zone
-        buffer = desc.buffers.acquire(stripe)
-        if buffer is None:
-            raise RaiznError(
-                f"zone {zone}: all {self.config.stripe_buffers_per_zone} "
-                "stripe buffers occupied (should not happen: writes are "
-                "sequential, so only the tail stripe is ever incomplete)")
-        buffer.absorb(in_stripe, chunk)
-        row = self._tr_stripe_row
-        if row is not None:
-            row[0] += 1
-            row[2] += len(chunk)
-        layout = self.mapper.stripe_layout(zone, stripe)
-
-        # Fan out the data pieces, one per (device, stripe-unit) fragment.
+        width = desc.stripe_width
+        stripe0 = (offset - desc.start_lba) // width
+        segments = []
         position = 0
-        while position < len(chunk):
-            su = self.config.stripe_unit_bytes
-            stripe_offset = in_stripe + position
-            su_index = stripe_offset // su
-            in_su = stripe_offset % su
-            take = min(len(chunk) - position, su - in_su)
-            device = layout.data_devices[su_index]
-            pba = (zone * self.phys_zone_size + stripe * su + in_su)
-            piece = chunk[position:position + take]
-            lba = desc.start_lba + stripe * desc.stripe_width + stripe_offset
-            self._emit_data_piece(desc, device, pba, lba, piece, sub_flags,
-                                  sub_events, fua_devices)
+        while position < length:
+            in_zone = offset + position - desc.start_lba
+            stripe = in_zone // width
+            in_stripe = in_zone % width
+            take = min(length - position, width - in_stripe)
+            layout = self.mapper.stripe_layout(zone, stripe)
+            dstripe = stripe - stripe0
+            pieces = []
+            piece_pos = 0
+            while piece_pos < take:
+                stripe_offset = in_stripe + piece_pos
+                in_su = stripe_offset % su
+                piece_take = min(take - piece_pos, su - in_su)
+                pieces.append((layout.data_devices[stripe_offset // su],
+                               dstripe * su + in_su,
+                               dstripe * width + stripe_offset,
+                               position + piece_pos,
+                               position + piece_pos + piece_take))
+                piece_pos += piece_take
+            segments.append((dstripe, in_stripe, position, position + take,
+                             tuple(pieces), in_stripe + take == width,
+                             layout.parity_device, dstripe * su,
+                             dstripe * width))
             position += take
+        return tuple(segments)
 
-        if buffer.full:
-            self._emit_full_parity(desc, stripe, layout, buffer, in_stripe,
-                                   chunk, sub_flags, sub_events, fua_devices)
-            desc.buffers.release(stripe)
-        else:
-            self._emit_partial_parity(desc, stripe, layout, in_stripe, chunk,
-                                      bool(sub_flags), sub_events)
-
-    def _emit_data_piece(self, desc: LogicalZoneDesc, device: int, pba: int,
-                         lba: int, piece: bytes, sub_flags: int,
-                         sub_events: List[Event],
-                         fua_devices: Set[int]) -> None:
+    def _emit_data_piece(self, join: _WriteJoin, desc: LogicalZoneDesc,
+                         device: int, pba: int, lba: int, piece, sub_flags: int,
+                         cmds: List[tuple], batch: List[tuple]) -> None:
         zone = desc.zone
         if not self._device_available(device, zone):
             return  # degraded write: the missing SU is omitted (§4.2)
@@ -847,8 +1111,8 @@ class RaiznVolume:
             # The physical zone wore out (end-of-life transition); its
             # write pointer is frozen, so every further piece for it is
             # redirected to the metadata log like a §5.2 conflict.
-            self._relocate_write(desc, device, lba, piece, bool(sub_flags),
-                                 sub_events)
+            self._relocate_join(join, desc, device, lba, piece,
+                                bool(sub_flags), batch)
             return
         if pdesc.write_pointer != pba or (
                 desc.has_relocations and
@@ -863,34 +1127,34 @@ class RaiznVolume:
             # writing in place would split the SU between a garbage-
             # prefixed device zone and the log, and recovery could not
             # tell the stale prefix from real bytes.
-            self._relocate_write(desc, device, lba, piece, bool(sub_flags),
-                                 sub_events)
+            self._relocate_join(join, desc, device, lba, piece,
+                                bool(sub_flags), batch)
             return
         pdesc.write_pointer = pba + len(piece)
-
-        def redirect(outcome: Event) -> None:
-            # Wear-out discovered by the failing write itself: resync the
-            # descriptor from device truth and redirect this piece.
-            if not self._device_available(device, desc.zone):
-                outcome.succeed(None)  # degraded: omitted, parity covers it
-                return
-            redirected: List[Event] = []
-            try:
-                self._relocate_write(desc, device, lba, piece,
-                                     bool(sub_flags), redirected)
-            except (RaiznError, DeviceError) as exc:
-                outcome.fail(exc)
-                return
-            self._chain(redirected[0], outcome)
-
-        sub_events.append(self._protected_write(device, pba, piece,
-                                                sub_flags, redirect))
+        wbio = Bio.write(pba, piece, sub_flags)
+        wbio.errors_as_status = True
+        # The integer lba doubles as the redirect tag: should the write
+        # come back with a wear-out error, ``_redirect_attempt`` rebuilds
+        # the relocation from (desc, device, lba, bio.data) — no closure.
+        wbio.wctx = (join, device, desc, lba, 0)
+        event = self.sim.event()
+        event.add_callback(self._write_attempted)
+        join._count += 1
+        cmds.append((self.devices[device], wbio, event))
         if sub_flags:
-            fua_devices.add(device)
+            join.fua_devices.add(device)
+
+    def _relocate_join(self, join: _WriteJoin, desc: LogicalZoneDesc,
+                       device: int, lba: int, piece, fua: bool,
+                       batch: List[tuple]) -> None:
+        """Fan-out-time relocation: register the log append on the join."""
+        done = self._relocate_write(desc, device, lba, piece, fua, batch)
+        done.add_callback(join._on_child)
+        join._count += 1
 
     def _relocate_write(self, desc: LogicalZoneDesc, device: int, lba: int,
-                        piece: bytes, fua: bool,
-                        sub_events: List[Event]) -> None:
+                        piece, fua: bool,
+                        batch: Optional[List[tuple]] = None) -> Event:
         su = self.config.stripe_unit_bytes
         su_lba = lba - (lba % su)
         unit = self.relocations.unit_for(su_lba, device,
@@ -903,9 +1167,8 @@ class RaiznVolume:
         # carry the FUA flag — ``_flush_unpersisted`` only covers SUs from
         # *earlier* writes, so nothing else persists this entry before the
         # ack and a crash could cut it from the log tail.
-        sub_events.append(
-            self.mdzones[device].append_async(MetadataRole.GENERAL, entry,
-                                              fua=fua))
+        return self.mdzones[device].append_async(MetadataRole.GENERAL, entry,
+                                                 fua=fua, batch=batch)
 
     @staticmethod
     def _chain(event: Event, outcome: Event) -> None:
@@ -917,40 +1180,37 @@ class RaiznVolume:
                 outcome.fail(ev.value)
         event.add_callback(forward)
 
-    def _protected_write(self, device: int, pba: int, piece: bytes,
-                         flags: int, redirect) -> Event:
-        """Device write with the self-healing error policy.
+    def _attempt_write(self, join: _WriteJoin, device: int, desc, tag,
+                       pba: int, piece, flags: int, attempt: int) -> None:
+        """(Re)submit one protected device write (retry path)."""
+        wbio = Bio.write(pba, piece, flags)
+        wbio.errors_as_status = True
+        wbio.wctx = (join, device, desc, tag, attempt)
+        event = self.sim.event()
+        event.add_callback(self._write_attempted)
+        self.devices[device].submit(wbio, event)
 
+    def _write_attempted(self, event: Event) -> None:
+        """Completion of a protected device write — self-healing policy.
+
+        One shared bound method for every data/parity piece: the
+        per-attempt context rides on ``bio.wctx`` instead of a closure.
         Transient command failures are retried up to
         ``config.max_transient_retries`` times with a simulated backoff;
         a zone-state failure (wear-out discovered mid-write) resyncs the
-        physical descriptor and hands the piece to ``redirect(outcome)``;
+        physical descriptor and redirects the piece to the metadata log;
         a failed device degrades the write (§4.2: the piece is omitted
-        and parity covers it).  Anything else fails the outcome.
+        and parity covers it).  Anything else fails the logical write.
         """
-        outcome = Event(self.sim)
-        self._attempt_write(device, pba, piece, flags, redirect, outcome, 0)
-        return outcome
-
-    def _attempt_write(self, device: int, pba: int, piece: bytes, flags: int,
-                       redirect, outcome: Event, attempt: int) -> None:
-        bio = Bio.write(pba, piece, flags)
-        bio.errors_as_status = True
-        event = self.devices[device].submit(bio)
-        event.add_callback(
-            lambda ev: self._write_attempted(ev, device, pba, piece, flags,
-                                             redirect, outcome, attempt))
-
-    def _write_attempted(self, event: Event, device: int, pba: int,
-                         piece: bytes, flags: int, redirect, outcome: Event,
-                         attempt: int) -> None:
         bio = event.value
+        self.sim.recycle(event)
+        join, device, desc, tag, attempt = bio.wctx
         exc = bio.error
         if exc is None:
             if self._failslow_on:
                 self._note_latency(device, False,
                                    self.sim.now - bio.submit_time)
-            outcome.succeed(bio)
+            join._child_ok()
             return
         if isinstance(exc, (TransientCommandError, WritePointerViolation)):
             # A WritePointerViolation here is collateral of a transient
@@ -963,36 +1223,71 @@ class RaiznVolume:
             if attempt < self.config.max_transient_retries:
                 self.health.transient_retries += 1
                 self.sim.schedule(self.config.transient_backoff_s,
-                                  self._attempt_write, device, pba, piece,
-                                  flags, redirect, outcome, attempt + 1)
+                                  self._attempt_write, join, device, desc,
+                                  tag, bio.offset, bio.data, bio.flags,
+                                  attempt + 1)
                 return
             self.health.transient_escalations += 1
             self._note_device_error(device)
-            outcome.fail(exc)
+            self.sim._now_queue.append((join._child_fail, (exc,)))
             return
         if isinstance(exc, ZoneStateError):
             self.health.wear_errors += 1
             self._note_device_error(device)
-            self._sync_phys_desc(device, pba // self.phys_zone_size)
-            redirect(outcome)
+            self._sync_phys_desc(device, bio.offset // self.phys_zone_size)
+            self._redirect_attempt(join, device, desc, tag, bio)
             return
         if isinstance(exc, (DeviceFailedError, PowerLossError)):
             if isinstance(exc, DeviceFailedError) and not self.failed[device]:
                 try:
                     self.fail_device(device, remove=False)
                 except DataLossError as loss:
-                    outcome.fail(loss)
+                    self.sim._now_queue.append((join._child_fail, (loss,)))
                     return
             if self.failed[device]:
-                outcome.succeed(bio)  # degraded write: piece omitted (§4.2)
+                # Degraded write: piece omitted (§4.2).
+                self.sim._now_queue.append((join._child_ok, ()))
                 return
-        outcome.fail(exc)
+        self.sim._now_queue.append((join._child_fail, (exc,)))
 
-    def _emit_full_parity(self, desc: LogicalZoneDesc, stripe: int, layout,
-                          buffer: StripeBuffer, in_stripe: int, chunk: bytes,
-                          sub_flags: int, sub_events: List[Event],
-                          fua_devices: Set[int]) -> None:
-        device = layout.parity_device
+    def _redirect_attempt(self, join: _WriteJoin, device: int,
+                          desc: LogicalZoneDesc, tag, bio: Bio) -> None:
+        """Wear-out discovered by the failing write itself: redirect.
+
+        ``tag`` discriminates the piece kind: an ``int`` is a data
+        piece's lba (relocate into the general log); a ``(stripe,
+        stripe_lba)`` tuple is a full-parity write (keep the parity in
+        memory plus one cumulative partial-parity log entry covering the
+        whole stripe — the shape the metadata-GC checkpoint uses).
+        """
+        if not self._device_available(device, desc.zone):
+            # Degraded: omitted, parity (or memory) covers it.
+            self.sim._now_queue.append((join._child_ok, ()))
+            return
+        fua = bool(bio.flags & _FUA)
+        if type(tag) is int:
+            try:
+                done = self._relocate_write(desc, device, tag, bio.data, fua)
+            except (RaiznError, DeviceError) as exc:
+                self.sim._now_queue.append((join._child_fail, (exc,)))
+                return
+            done.add_callback(join._on_child_hop)
+            return
+        stripe, stripe_lba = tag
+        parity = bio.data
+        self.relocated_parity[(desc.zone, stripe)] = parity
+        entry = encode_partial_parity(
+            stripe_lba, stripe_lba + desc.stripe_width,
+            self.generation[desc.zone], 0, parity)
+        done = self.mdzones[device].append_async(
+            MetadataRole.PARTIAL_PARITY, entry, fua=fua)
+        done.add_callback(join._on_child_hop)
+
+    def _emit_full_parity(self, join: _WriteJoin, desc: LogicalZoneDesc,
+                          stripe: int, device: int, pba: int,
+                          stripe_lba: int, buffer: StripeBuffer,
+                          in_stripe: int, chunk, sub_flags: int,
+                          cmds: List[tuple], batch: List[tuple]) -> None:
         if not self._device_available(device, desc.zone):
             return
         parity = buffer.full_parity()
@@ -1000,8 +1295,6 @@ class RaiznVolume:
         if row is not None:
             row[0] += 1
             row[2] += len(parity)
-        pba = desc.zone * self.phys_zone_size + \
-            stripe * self.config.stripe_unit_bytes
         pdesc = self.phys[device][desc.zone]
         if pdesc.write_pointer != pba or \
                 pdesc.state is ZoneState.READ_ONLY or \
@@ -1012,37 +1305,26 @@ class RaiznVolume:
             # the partial-parity zone — XOR of all the stripe's deltas
             # equals the full parity.
             self.relocated_parity[(desc.zone, stripe)] = parity
-            self._emit_partial_parity(desc, stripe, layout, in_stripe,
-                                      chunk, bool(sub_flags), sub_events)
+            self._emit_partial_parity(join, desc, stripe, device, stripe_lba,
+                                      in_stripe, chunk, bool(sub_flags),
+                                      batch)
             return
         pdesc.write_pointer = pba + len(parity)
-
-        def redirect(outcome: Event) -> None:
-            # Wear-out discovered by the parity write itself: the true
-            # parity survives in memory plus one cumulative log entry
-            # covering the whole stripe (same shape the metadata-GC
-            # checkpoint uses for relocated parity).
-            if not self._device_available(device, desc.zone):
-                outcome.succeed(None)
-                return
-            self.relocated_parity[(desc.zone, stripe)] = parity
-            stripe_lba = desc.start_lba + stripe * desc.stripe_width
-            entry = encode_partial_parity(
-                stripe_lba, stripe_lba + desc.stripe_width,
-                self.generation[desc.zone], 0, parity)
-            self._chain(self.mdzones[device].append_async(
-                MetadataRole.PARTIAL_PARITY, entry, fua=bool(sub_flags)),
-                outcome)
-
-        sub_events.append(self._protected_write(device, pba, parity,
-                                                sub_flags, redirect))
+        wbio = Bio.write(pba, parity, sub_flags)
+        wbio.errors_as_status = True
+        # Tuple tag marks a parity piece for ``_redirect_attempt``.
+        wbio.wctx = (join, device, desc, (stripe, stripe_lba), 0)
+        event = self.sim.event()
+        event.add_callback(self._write_attempted)
+        join._count += 1
+        cmds.append((self.devices[device], wbio, event))
         if sub_flags:
-            fua_devices.add(device)
+            join.fua_devices.add(device)
 
-    def _emit_partial_parity(self, desc: LogicalZoneDesc, stripe: int,
-                             layout, in_stripe: int, chunk: bytes,
-                             fua: bool, sub_events: List[Event]) -> None:
-        device = layout.parity_device
+    def _emit_partial_parity(self, join: _WriteJoin, desc: LogicalZoneDesc,
+                             stripe: int, device: int, stripe_lba: int,
+                             in_stripe: int, chunk, fua: bool,
+                             batch: List[tuple]) -> None:
         if not self._device_available(device, desc.zone):
             return
         offset, delta = StripeBuffer.delta_parity(
@@ -1051,52 +1333,13 @@ class RaiznVolume:
         if row is not None:
             row[0] += 1
             row[2] += len(delta)
-        stripe_lba = desc.start_lba + stripe * desc.stripe_width
         entry = encode_partial_parity(
             stripe_lba + in_stripe, stripe_lba + in_stripe + len(chunk),
             self.generation[desc.zone], offset, delta)
-        sub_events.append(self.mdzones[device].append_async(
-            MetadataRole.PARTIAL_PARITY, entry, fua=fua))
-
-    def _finish_write(self, bio: Bio, done: Event, desc: LogicalZoneDesc,
-                      sub_events: List[Event], fua_devices: Set[int]) -> None:
-        gather = self.sim.gather(sub_events)
-        gather.add_callback(
-            lambda ev: self._finish_write_gathered(ev, bio, done, desc,
-                                                   fua_devices))
-
-    def _finish_write_gathered(self, gather: Event, bio: Bio, done: Event,
-                               desc: LogicalZoneDesc,
-                               fua_devices: Set[int]) -> None:
-        if not gather.ok:
-            if isinstance(gather.value, DeviceError):
-                done.fail(gather.value)
-                return
-            raise gather.value
-        if bio.is_fua or bio.is_preflush:
-            flushes = self.sim.gather(
-                self._flush_unpersisted(desc, bio, fua_devices))
-            flushes.add_callback(
-                lambda ev: self._finish_write_flushed(ev, bio, done, desc))
-            return
-        bio.complete_time = self.sim.now
-        done.succeed(bio)
-
-    def _finish_write_flushed(self, flushes: Event, bio: Bio, done: Event,
-                              desc: LogicalZoneDesc) -> None:
-        if not flushes.ok:
-            if isinstance(flushes.value, DeviceError):
-                done.fail(flushes.value)
-                return
-            raise flushes.value
-        # Only stripe units *fully* below the durable point may be marked.
-        # A partial tail SU is durable right now, but a later plain write
-        # can extend it in the device cache — a set bit would then be
-        # stale, the next FUA would skip flushing that device, and a crash
-        # could lose acknowledged data.
-        desc.persistence.mark_up_to(desc.su_index_of(bio.end_offset))
-        bio.complete_time = self.sim.now
-        done.succeed(bio)
+        done = self.mdzones[device].append_async(
+            MetadataRole.PARTIAL_PARITY, entry, fua=fua, batch=batch)
+        done.add_callback(join._on_child)
+        join._count += 1
 
     def _flush_unpersisted(self, desc: LogicalZoneDesc, bio: Bio,
                            fua_devices: Set[int]) -> List[Event]:
@@ -1660,7 +1903,7 @@ class RaiznVolume:
                 if desc.written_bytes:
                     # Full SUs only: a partial tail SU can be extended by
                     # a later write, which would make its bit stale (see
-                    # _finish_write_flushed).
+                    # _WriteJoin._flushed).
                     desc.persistence.mark_up_to(
                         desc.su_index_of(desc.write_pointer))
         self.stats.account(bio)

@@ -30,15 +30,28 @@ from ..errors import SimulationError
 ProcessGenerator = Generator["Event", Any, Any]
 
 
-def _dispatch(event: "Event",
-              callbacks: List[Callable[["Event"], None]]) -> None:
+def _dispatch(event: "Event", first: Callable[["Event"], None],
+              rest: List[Callable[["Event"], None]]) -> None:
     """Run a triggered event's callbacks (queued as one now-queue entry)."""
-    for fn in callbacks:
+    first(event)
+    for fn in rest:
         fn(event)
 
 
 def _raise_unhandled(exc: BaseException) -> None:
     raise exc
+
+
+def _run_batch(calls: List[Tuple[Callable, tuple]]) -> None:
+    """Run a sibling batch: every call in order, one scheduler entry."""
+    for fn, args in calls:
+        fn(*args)
+
+
+#: Upper bound on each recycled-object pool; beyond this, freed events are
+#: simply dropped to the garbage collector.  Sized to cover a deep IO
+#: window (iodepth x fan-out) without pinning memory after a burst.
+_FREELIST_MAX = 4096
 
 
 class Event:
@@ -49,13 +62,15 @@ class Event:
     Processes wait on events by yielding them.
     """
 
-    __slots__ = ("sim", "callbacks", "triggered", "ok", "value")
+    __slots__ = ("sim", "callback", "callbacks", "triggered", "ok", "value")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        # The callback list is created lazily on first registration: many
-        # short-lived events (uncontended resource grants in particular)
-        # trigger without ever acquiring a waiter.
+        # Waiters are stored in a single ``callback`` slot; an overflow list
+        # is created lazily only when a second waiter registers.  Almost
+        # every event on the datapath has exactly zero or one waiter, so the
+        # common case triggers without ever allocating a list.
+        self.callback: Optional[Callable[["Event"], None]] = None
         self.callbacks: Optional[List[Callable[["Event"], None]]] = None
         self.triggered = False
         self.ok = True
@@ -67,10 +82,18 @@ class Event:
             raise SimulationError(f"{self!r} triggered twice")
         self.triggered = True
         self.value = value
-        callbacks = self.callbacks
-        if callbacks:
-            self.callbacks = None
-            self.sim._now_queue.append((_dispatch, (self, callbacks)))
+        callback = self.callback
+        if callback is not None:
+            self.callback = None
+            callbacks = self.callbacks
+            if callbacks is None:
+                # Single-waiter fast path: the continuation goes straight on
+                # the now-queue, no dispatch trampoline and no list.
+                self.sim._now_queue.append((callback, (self,)))
+            else:
+                self.callbacks = None
+                self.sim._now_queue.append(
+                    (_dispatch, (self, callback, callbacks)))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -82,10 +105,16 @@ class Event:
         self.triggered = True
         self.ok = False
         self.value = exc
-        callbacks = self.callbacks
-        if callbacks:
-            self.callbacks = None
-            self.sim._now_queue.append((_dispatch, (self, callbacks)))
+        callback = self.callback
+        if callback is not None:
+            self.callback = None
+            callbacks = self.callbacks
+            if callbacks is None:
+                self.sim._now_queue.append((callback, (self,)))
+            else:
+                self.callbacks = None
+                self.sim._now_queue.append(
+                    (_dispatch, (self, callback, callbacks)))
         elif isinstance(self, Process):
             # A failed process nobody waits on: surface the error instead
             # of silently swallowing it.
@@ -97,6 +126,8 @@ class Event:
         if self.triggered:
             # Already dispatched: run at the current time via the now-queue.
             self.sim._now_queue.append((fn, (self,)))
+        elif self.callback is None:
+            self.callback = fn
         elif self.callbacks is None:
             self.callbacks = [fn]
         else:
@@ -168,6 +199,8 @@ class Process(Event):
                 continue
             if target.triggered:
                 self.sim._now_queue.append((self._on_wait_done, (target,)))
+            elif target.callback is None:
+                target.callback = self._on_wait_done
             elif target.callbacks is None:
                 target.callbacks = [self._on_wait_done]
             else:
@@ -296,10 +329,23 @@ class AnyOf(Event):
         self._done = True
         # Detach from the losing children so they stop referencing this
         # AnyOf (and never call back into it when they eventually trigger).
+        callback = self._callback
         for child in self._children:
-            if child is not event and child.callbacks is not None:
+            if child is event:
+                continue
+            if child.callback is callback:
+                # Keep the invariant that the overflow list is only ever
+                # populated behind a filled single slot.
+                overflow = child.callbacks
+                if overflow:
+                    child.callback = overflow.pop(0)
+                    if not overflow:
+                        child.callbacks = None
+                else:
+                    child.callback = None
+            elif child.callbacks is not None:
                 try:
-                    child.callbacks.remove(self._callback)
+                    child.callbacks.remove(callback)
                 except ValueError:
                     pass
         self._children = []
@@ -325,6 +371,11 @@ class Simulator:
         self._heap: List = []
         self._now_queue: Deque[Tuple[Callable, tuple]] = deque()
         self._seq = 0
+        # Recycled-object pools (see ``recycle``): datapath code that owns
+        # an event's full lifecycle returns it here instead of letting it
+        # churn the allocator; ``event()``/``timeout()`` reissue them.
+        self._event_free: List[Event] = []
+        self._timeout_free: List[Timeout] = []
 
     # -- low-level scheduling ------------------------------------------------
 
@@ -338,15 +389,73 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
 
+    def schedule_batch(self, delay: float,
+                       calls: List[Tuple[Callable, tuple]]) -> None:
+        """Run sibling ``(fn, args)`` calls after ``delay``, as ONE entry.
+
+        Work scheduled together with the same delay rides a single heap
+        (or now-queue) entry and executes in one consecutive sweep when it
+        comes due — the calls can never be interleaved with other entries
+        that land at the same timestamp.  Because the calls are enqueued
+        together, the sweep runs them in exactly the order separate
+        ``schedule`` calls made back-to-back would have, so batching is
+        order-neutral for fixed-seed replay; it just removes per-entry
+        queue traffic.  The caller must not mutate ``calls`` afterwards.
+        """
+        if delay == 0.0:
+            self._now_queue.append((_run_batch, (calls,)))
+            return
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap,
+                       (self.now + delay, self._seq, _run_batch, (calls,)))
+
     # -- event factories -----------------------------------------------------
 
     def event(self) -> Event:
-        """A fresh untriggered event."""
+        """A fresh untriggered event (possibly a recycled one, reset)."""
+        free = self._event_free
+        if free:
+            event = free.pop()
+            event.triggered = False
+            event.ok = True
+            return event
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that triggers ``delay`` seconds from now."""
+        free = self._timeout_free
+        if free and delay >= 0:
+            timeout = free.pop()
+            timeout.triggered = False
+            timeout.ok = True
+            self.schedule(delay, timeout._fire, value)
+            return timeout
         return Timeout(self, delay, value)
+
+    def recycle(self, event: Event) -> None:
+        """Return a fired, fully drained event to the reuse pool.
+
+        Only for call sites that own the event's entire lifecycle: the
+        event must have triggered and must have no registered callbacks
+        left (both are asserted).  After this call the event may be handed
+        out again by :meth:`event`/:meth:`timeout`, so the caller must
+        drop every reference.  Subclasses other than plain ``Event`` and
+        ``Timeout`` are ignored (dropped to the garbage collector).
+        """
+        if not event.triggered or event.callback is not None \
+                or event.callbacks:
+            raise SimulationError(
+                f"recycle() requires a fired, drained event, got {event!r}")
+        event.value = None
+        cls = type(event)
+        if cls is Event:
+            if len(self._event_free) < _FREELIST_MAX:
+                self._event_free.append(event)
+        elif cls is Timeout:
+            if len(self._timeout_free) < _FREELIST_MAX:
+                self._timeout_free.append(event)
 
     def process(self, gen: ProcessGenerator) -> Process:
         """Start ``gen`` as a simulated process."""

@@ -554,6 +554,7 @@ class ZNSDevice(BlockDevice):
         # so a restored device never inherits a stale grant.
         self.channels.in_use = 0
         self.channels._waiters.clear()
+        self._channel_queue.clear()
 
     def mark_bad(self, offset: int, length: int) -> None:
         """Inject a latent (UNC) media error over ``[offset, offset+length)``.

@@ -215,3 +215,57 @@ class TestTypedPayloads:
             decode_generation_block(wrong)
         with pytest.raises(MetadataError):
             decode_op_wal(wrong)
+
+
+def _xor_reference(buffers):
+    """Pure-Python byte-loop XOR: the semantic ground truth the vectorized
+    implementations are checked against."""
+    out = bytearray(buffers[0])
+    for buf in buffers[1:]:
+        for i, byte in enumerate(buf):
+            out[i] ^= byte
+    return bytes(out)
+
+
+class TestVectorizedParityEquivalence:
+    @given(st.lists(st.binary(min_size=8, max_size=8), min_size=1,
+                    max_size=6))
+    def test_xor_buffers_matches_pure_python(self, buffers):
+        assert xor_buffers(buffers) == _xor_reference(buffers)
+
+    @given(st.lists(st.binary(min_size=0, max_size=32), min_size=0,
+                    max_size=5), st.integers(32, 48))
+    def test_stripe_parity_matches_padded_reference(self, units, su):
+        padded = [unit + bytes(su - len(unit)) for unit in units]
+        expected = _xor_reference(padded) if padded else bytes(su)
+        assert stripe_parity(units, su) == expected
+
+    def test_xor_buffers_single_copy(self):
+        source = b"\x01\x02\x03"
+        out = xor_buffers([source])
+        assert out == source and out is not source
+
+    def test_stripe_parity_empty_iterable_is_zeroes(self):
+        assert stripe_parity([], 16) == bytes(16)
+
+    def test_stripe_parity_short_tail_unit(self):
+        # The final unit of a partial stripe is shorter than the SU; its
+        # missing bytes XOR as zeroes.
+        full = b"\xaa" * 8
+        tail = b"\x0f" * 3
+        expected = bytes(a ^ b for a, b in zip(full, tail + bytes(5)))
+        assert stripe_parity([full, tail], 8) == expected
+
+    def test_stripe_parity_accepts_memoryview_units(self):
+        backing = bytes(range(16))
+        view = memoryview(backing)[4:12]
+        assert stripe_parity([view], 8) == backing[4:12]
+
+    @given(st.binary(min_size=1, max_size=48), st.integers(0, 47))
+    def test_delta_parity_fast_path_returns_chunk_bytes(self, chunk, start):
+        su = 48
+        start = start % (su - len(chunk)) if len(chunk) < su else 0
+        if start + len(chunk) <= su:
+            offset, delta = StripeBuffer.delta_parity(start, chunk, su)
+            assert offset == start % su
+            assert bytes(delta) == chunk

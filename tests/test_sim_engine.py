@@ -301,7 +301,7 @@ class TestAnyOfDetach:
         assert first.ok and first.value == "w"
         # The losing child no longer references the AnyOf: no leak while
         # the loser stays pending, and no callback when it triggers later.
-        assert not loser.callbacks
+        assert loser.callback is None and not loser.callbacks
 
     def test_late_loser_does_not_retrigger(self, sim):
         winner, loser = sim.event(), sim.event()
@@ -319,3 +319,99 @@ class TestAnyOfDetach:
         b.succeed(2)
         sim.run()
         assert first.value == 1
+
+
+class TestScheduleBatch:
+    def test_batch_runs_in_fifo_order(self, sim):
+        order = []
+        sim.schedule_batch(0.0, [(order.append, ("a",)),
+                                 (order.append, ("b",)),
+                                 (order.append, ("c",))])
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_batch_matches_separate_schedules(self, sim):
+        """A batch interleaves with other entries exactly like the
+        back-to-back schedule() calls it replaces."""
+        order = []
+        sim.schedule(0.0, order.append, "before")
+        sim.schedule_batch(0.0, [(order.append, ("x",)),
+                                 (order.append, ("y",))])
+        sim.schedule(0.0, order.append, "after")
+        sim.run()
+        assert order == ["before", "x", "y", "after"]
+
+    def test_delayed_batch_single_heap_entry(self, sim):
+        order = []
+        sim.schedule_batch(1.0, [(order.append, (1,)), (order.append, (2,))])
+        sim.schedule(0.5, order.append, 0)
+        sim.run()
+        assert order == [0, 1, 2]
+        assert sim.now == 1.0
+
+    def test_same_tick_sibling_completions_deterministic(self, sim):
+        """Two runs of the same same-tick sibling batch produce identical
+        completion order (fixed-seed replay contract)."""
+
+        def run_once():
+            local = Simulator()
+            order = []
+            events = [local.event() for _ in range(4)]
+            for i, event in enumerate(events):
+                event.add_callback(lambda _e, i=i: order.append(i))
+            local.schedule_batch(
+                0.0, [(event.succeed, ()) for event in events])
+            local.run()
+            return order
+
+        assert run_once() == run_once() == [0, 1, 2, 3]
+
+
+class TestEventRecycling:
+    def test_recycle_requires_fired_event(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            sim.recycle(event)
+
+    def test_recycle_requires_drained_callbacks(self, sim):
+        event = sim.event()
+        event.add_callback(lambda _e: None)
+        event.triggered = True  # fired, but the callback never dispatched
+        with pytest.raises(SimulationError):
+            sim.recycle(event)
+
+    def test_recycled_event_is_reissued_reset(self, sim):
+        event = sim.event()
+        event.succeed("payload")
+        sim.run()
+        sim.recycle(event)
+        again = sim.event()
+        assert again is event
+        assert not again.triggered and again.ok and again.value is None
+        assert again.callback is None and not again.callbacks
+
+    def test_freelist_never_resurrects_fired_event(self, sim):
+        """An event still sitting on the freelist is never handed out in a
+        triggered state, even after heavy churn."""
+        for _ in range(64):
+            event = sim.event()
+            event.succeed()
+            sim.run()
+            sim.recycle(event)
+            fresh = sim.event()
+            assert not fresh.triggered
+            fresh.succeed()  # must not raise "triggered twice"
+            sim.run()
+            sim.recycle(fresh)
+
+    def test_recycled_timeout_refires(self, sim):
+        timeout = sim.timeout(1.0, "first")
+        fired = []
+        timeout.add_callback(lambda e: fired.append(e.value))
+        sim.run()
+        sim.recycle(timeout)
+        again = sim.timeout(2.0, "second")
+        assert again is timeout
+        again.add_callback(lambda e: fired.append(e.value))
+        sim.run()
+        assert fired == ["first", "second"] and sim.now == 3.0

@@ -50,6 +50,12 @@ class CompletionBoundaries:
     an optional zero-argument callable whose return value is stored next
     to each snapshot — the crash-test harness uses it to freeze the
     workload's expectation model at the same instant.
+
+    Hook discipline: any ``completion_hook`` already installed (e.g. a
+    :class:`~repro.faults.errinject.FaultPlan`'s) keeps running — it is
+    chained *before* the counter, so a snapshot at boundary ``k``
+    captures the device after every effect of the k-th completion,
+    injected faults included.
     """
 
     def __init__(self, devices: Sequence[BlockDevice],
@@ -62,12 +68,24 @@ class CompletionBoundaries:
         self.aux_state = aux_state
         self.count = 0
         self.fired = False
+        self.armed = True
         #: boundary -> (per-device snapshots, aux_state() result)
         self.snapshots: Dict[int, Tuple[List[Tuple], object]] = {}
+        #: (device, previous hook, installed wrapper) per device, so
+        #: disarm can restore exactly what it displaced.
+        self._installed: List[Tuple[BlockDevice, object, object]] = []
         for dev in self.devices:
-            dev.completion_hook = self._hook
+            prev = dev.completion_hook
 
-    def _hook(self, device: BlockDevice, bio: Bio) -> None:
+            def hook(device, bio, _chained=prev):
+                if _chained is not None:
+                    _chained(device, bio)
+                if self.armed:
+                    self._on_complete(device, bio)
+            self._installed.append((dev, prev, hook))
+            dev.completion_hook = hook
+
+    def _on_complete(self, device: BlockDevice, bio: Bio) -> None:
         if self.fired:
             return
         self.count += 1
@@ -82,10 +100,19 @@ class CompletionBoundaries:
                 dev.power_off()
 
     def disarm(self) -> None:
-        """Remove the hook from every device."""
-        for dev in self.devices:
-            if dev.completion_hook == self._hook:
-                dev.completion_hook = None
+        """Stop counting and restore each device's previous hook.
+
+        If another hook was layered on top after this one (its closure
+        chains to our wrapper), the wrapper cannot be unlinked — it stays
+        in the chain as a pass-through instead, so the later hook keeps
+        working and the counter goes permanently quiet rather than
+        leaking live tracing forever.
+        """
+        self.armed = False
+        for dev, prev, hook in self._installed:
+            if dev.completion_hook is hook:
+                dev.completion_hook = prev
+        self._installed = []
 
 
 # -- array-wide snapshot helpers --------------------------------------------------

@@ -23,7 +23,8 @@ def fresh_replacement(sim: Simulator, template: ZNSDevice, name: str,
         zone_capacity=template.zone_capacity, zone_size=template.zone_size,
         model=template.model, max_open_zones=template.max_open_zones,
         max_active_zones=template.max_active_zones,
-        atomic_write_bytes=template.atomic_write_bytes, seed=seed)
+        atomic_write_bytes=template.atomic_write_bytes,
+        zone_reset_limit=template.zone_reset_limit, seed=seed)
 
 
 def fail_and_rebuild(sim: Simulator, volume: RaiznVolume, index: int,

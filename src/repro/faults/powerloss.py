@@ -83,6 +83,12 @@ class CrashPoint:
     ``after``, power drops on all devices *before* that command applies —
     reproducing "the system lost power after only a subset of the
     sub-IOs reached the devices".
+
+    Any ``pre_apply_hook`` already present (e.g. a
+    :class:`~repro.faults.errinject.FaultPlan`'s) is chained ahead of
+    the counter, so composing a crash trigger with error injection
+    disables neither: a command the chained hook rejects never applies,
+    and is therefore not counted as a crash candidate either.
     """
 
     def __init__(self, devices: List[BlockDevice], after: int,
@@ -93,10 +99,20 @@ class CrashPoint:
         self.ops = set(ops) if ops is not None else None
         self.rng = rng or random.Random(0)
         self.fired = False
+        self.armed = True
+        self._installed = []
         for dev in devices:
-            dev.pre_apply_hook = self._hook
+            prev = dev.pre_apply_hook
 
-    def _hook(self, device: BlockDevice, bio: Bio) -> None:
+            def hook(device, bio, _chained=prev):
+                if _chained is not None:
+                    _chained(device, bio)
+                if self.armed:
+                    self._count(device, bio)
+            self._installed.append((dev, prev, hook))
+            dev.pre_apply_hook = hook
+
+    def _count(self, device: BlockDevice, bio: Bio) -> None:
         if self.fired:
             return
         if self.ops is not None and bio.op not in self.ops:
@@ -107,7 +123,15 @@ class CrashPoint:
             power_fail_array(self.devices, self.rng)
 
     def disarm(self) -> None:
-        """Remove the hook from every device."""
-        for dev in self.devices:
-            if dev.pre_apply_hook == self._hook:
-                dev.pre_apply_hook = None
+        """Stop counting and restore each device's previous hook.
+
+        A hook layered on top after arming keeps our wrapper in its
+        chain; the wrapper turns into a pass-through (``armed`` is
+        cleared) so the later hook keeps working and the trigger cannot
+        fire again.
+        """
+        self.armed = False
+        for dev, prev, hook in self._installed:
+            if dev.pre_apply_hook is hook:
+                dev.pre_apply_hook = prev
+        self._installed = []

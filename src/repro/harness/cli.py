@@ -246,6 +246,41 @@ def run_slowtest_cli(seed: int = 0, quick: bool = False,
     return 0 if report["passed"] else 1
 
 
+def run_soaktest_cli(seed: int = 0, quick: bool = False,
+                     out: str = "soaktest_report.json") -> int:
+    """Compound-fault soak: crash x error x slow x wear on one array."""
+    from .soaktest import run_soaktest, write_report
+
+    def progress(report) -> None:
+        print(f"\r  {report.candidates} crash candidates "
+              f"({report.mounted} mounted, {report.pruned} pruned), "
+              f"{len(report.violations)} violations", end="", flush=True)
+
+    report = run_soaktest(seed=seed, quick=quick, progress=progress)
+    print()
+    write_report(report, out)
+    pruning = report["pruning"]
+    print(f"campaign: {report['phases']} phases, "
+          f"{report['workload_ops']} ops, {report['crash_cycles']} "
+          f"crash/recover cycles, {report['evictions']} evictions, "
+          f"{report['rebuilds']} rebuilds, {report['scrubs']} scrubs")
+    print(f"faults: {report['injected']} injected, "
+          f"{report['slowed_commands']} commands slowed, "
+          f"endurance {[e['worn_zones'] for e in report['endurance']]} "
+          "worn zones per device")
+    print(f"pruning: {pruning['pruned']}/{pruning['candidates']} candidates "
+          f"pruned (ratio {pruning['ratio']}, floor {pruning['floor']}), "
+          f"{pruning['verified_sample']} pruned states verified, "
+          f"{len(pruning['escapes'])} mechanism escapes")
+    print(f"mechanisms: {report['mechanisms_exercised']}")
+    print(f"oracle: {report['oracle_checks']} -> "
+          f"{report['oracle_violations']} violations")
+    print(f"fingerprint: {report['campaign_fingerprint']}")
+    print("soaktest PASSED" if report["passed"] else "soaktest FAILED")
+    print(f"report written to {out}")
+    return 0 if report["passed"] else 1
+
+
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "table1": run_table1,
     "rawdev": run_rawdev,
@@ -263,6 +298,8 @@ DESCRIPTIONS = {
     "crashtest": "systematic crash-state enumeration + durability oracle",
     "errortest": "seeded error campaign + integrity oracle (self-healing)",
     "slowtest": "fail-slow campaign + hedged-read tail-latency bound",
+    "soaktest": "compound-fault soak: crash x error x slow x wear, "
+                "mechanism-pruned",
     "trace": "per-bio span tracing: attribution report + JSONL span dump",
     "table1": "Table 1: RAIZN metadata location and size",
     "rawdev": "§6.1 raw device throughput (model calibration)",
@@ -293,7 +330,7 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="errortest: small CI-sized campaign")
     parser.add_argument("--quick", action="store_true",
-                        help="slowtest: small CI-sized campaign")
+                        help="slowtest/soaktest: small CI-sized campaign")
     parser.add_argument("--bench-out", default=None,
                         help="slowtest: also write BENCH_tail.json numbers "
                              "to this path")
@@ -327,6 +364,12 @@ def main(argv=None) -> int:
                                    out=args.out or "errortest_report.json",
                                    trace=args.trace)
         print(f"[errortest completed in {time.time() - began:.1f}s wall]")
+        return status
+    if args.experiment == "soaktest":
+        began = time.time()
+        status = run_soaktest_cli(seed=args.seed, quick=args.quick,
+                                  out=args.out or "soaktest_report.json")
+        print(f"[soaktest completed in {time.time() - began:.1f}s wall]")
         return status
     if args.experiment == "slowtest":
         began = time.time()

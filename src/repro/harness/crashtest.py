@@ -338,19 +338,24 @@ def _count_recovery_commands(sim, devices) -> int:
     never reach hole repair or metadata compaction.
     """
     counts = [0]
-
-    def tally(device, bio) -> None:
-        counts[0] += 1
-
+    saved = []
     for dev in devices:
+        prev = dev.pre_apply_hook
+
+        def tally(device, bio, _chained=prev) -> None:
+            if _chained is not None:
+                _chained(device, bio)
+            counts[0] += 1
+        saved.append((dev, prev, tally))
         dev.pre_apply_hook = tally
     try:
         mount(sim, list(devices))
     except ReproError:
         pass  # an unmountable state is reported by _check_state
     finally:
-        for dev in devices:
-            dev.pre_apply_hook = None
+        for dev, prev, tally in saved:
+            if dev.pre_apply_hook is tally:
+                dev.pre_apply_hook = prev
     return counts[0]
 
 

@@ -69,6 +69,9 @@ def rebuild_process(sim: Simulator, volume: RaiznVolume, index: int,
         sim, new_device, index, md_indices, volume.phys_zone_size,
         volume.phys_zone_capacity, volume._checkpoint)
     volume.failed[index] = False
+    # The replacement rejoining (and the per-zone rebuilt_zones gating
+    # that _device_available now applies) is a membership transition.
+    volume.invalidate_write_plans()
 
     for zone in _rebuild_order(volume):
         yield from _rebuild_zone(sim, volume, state, zone)
@@ -84,6 +87,8 @@ def rebuild_process(sim: Simulator, volume: RaiznVolume, index: int,
     yield new_device.submit(Bio.flush())
     state.done = True
     volume.rebuild_state = None
+    # Rebuild completion lifts the rebuilt_zones gating: a fresh epoch.
+    volume.invalidate_write_plans()
     return RebuildReport(device_index=index,
                          zones_rebuilt=len(state.rebuilt_zones),
                          bytes_written=state.bytes_rebuilt,

@@ -25,7 +25,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..block.bio import Bio
-from ..errors import DataLossError, RecoveryError
+from ..errors import (
+    DataLossError,
+    DeviceFailedError,
+    MediaError,
+    RecoveryError,
+)
 from ..sim import Simulator
 from ..zns.device import ZNSDevice
 from ..zns.spec import ZoneState
@@ -122,7 +127,14 @@ class _Recovery:
         for dev in self.raw_devices:
             if dev is None:
                 continue
-            superblock = yield from self._find_superblock(dev)
+            try:
+                superblock = yield from self._find_superblock(dev)
+            except DeviceFailedError:
+                # A device can be present but failed (evicted with
+                # ``fail_device(remove=False)``); treat it exactly like a
+                # missing device and mount degraded — rejecting the mount
+                # would turn a within-tolerance fault into an outage.
+                continue
             found.append((dev, superblock))
         if not found:
             raise RecoveryError("no device carries a RAIZN superblock")
@@ -235,7 +247,24 @@ class _Recovery:
             if entry.generation != volume.generation[zone]:
                 continue  # stale: the zone was reset since this was logged
             in_zone = entry.start_lba - zone * volume.zone_capacity
-            stripe = in_zone // volume.mapper.stripe_width
+            width = volume.mapper.stripe_width
+            stripe = in_zone // width
+            if in_zone % width == 0 and \
+                    entry.end_lba - entry.start_lba == width:
+                # A whole-stripe entry is the cumulative *relocated
+                # parity* shape (logged when a completed stripe's parity
+                # SU could not be written in place, and re-emitted by the
+                # metadata-GC checkpoint).  It is self-contained full
+                # parity, not a delta: folding it into the delta chain
+                # would double-count any surviving deltas, and the §4.3
+                # duplicate rule below would wrongly discard the
+                # checkpointed copy whenever one delta survives.  Route
+                # it to the relocated-parity map the read path prefers.
+                offset, payload = decode_partial_parity(entry)
+                if offset == 0 and \
+                        len(payload) == volume.config.stripe_unit_bytes:
+                    volume.relocated_parity[(zone, stripe)] = payload
+                    continue
             grouped.setdefault(zone, {}).setdefault(stripe, []).append(entry)
         for zone_map in grouped.values():
             for stripe, entries in zone_map.items():
@@ -324,12 +353,14 @@ class _Recovery:
             desc.state = ZoneState.FULL
         else:
             desc.state = ZoneState.CLOSED
-        if desc.written_bytes:
-            # Full SUs only: the recovered partial tail SU is durable now,
-            # but a post-mount write can extend it in the device cache and
-            # a set bit would go stale (see volume._finish_write_flushed).
-            desc.persistence.mark_up_to(desc.su_index_of(desc.write_pointer))
         yield from state.rebuild_tail_buffer(desc)
+        if desc.written_bytes:
+            # After the tail rebuild (which may roll the zone further back
+            # over a torn tail SU).  Full SUs only: the recovered partial
+            # tail SU is durable now, but a post-mount write can extend it
+            # in the device cache and a set bit would go stale (see
+            # volume._finish_write_flushed).
+            desc.persistence.mark_up_to(desc.su_index_of(desc.write_pointer))
 
     def _all_full(self, zone: int) -> bool:
         volume = self.volume
@@ -501,6 +532,9 @@ class _ZoneContent:
         self.partial_parity = partial_parity
         self.logical_wp = volume.mapper.zone_start(zone)
         self.has_relocation_conflicts = False
+        #: (stripe, su_index) pairs currently being reconstructed from
+        #: redundancy, to bound the media-error fallback's recursion.
+        self._repairing: set = set()
 
     # Helper shorthand ---------------------------------------------------------
 
@@ -556,11 +590,34 @@ class _ZoneContent:
         if take == 0 or volume.devices[device] is None:
             return bytes(length)
         zone_pba = self.zone * volume.phys_zone_size
-        bio = yield volume.devices[device].submit(
-            Bio.read(zone_pba + stripe * self.su, take))
-        # join() materializes bytes whether the device returned bytes or a
-        # media view.
-        return b"".join((bio.result, bytes(length - take)))
+        probe = Bio.read(zone_pba + stripe * self.su, take)
+        probe.errors_as_status = True
+        bio = yield volume.devices[device].submit(probe)
+        if bio.error is None:
+            # join() materializes bytes whether the device returned bytes
+            # or a media view.
+            return b"".join((bio.result, bytes(length - take)))
+        # A latent (UNC) media error under a recovery read — the compound
+        # case: the crash landed on an extent no scrub had healed yet.
+        # Rebuild this SU from the stripe's redundancy instead of failing
+        # the whole mount; the live read path re-heals the extent after
+        # mount.  A second fault inside the same stripe (recursion guard)
+        # is beyond single parity and genuinely unrecoverable.
+        key = (stripe, su_index)
+        if key in self._repairing:
+            raise bio.error
+        self._repairing.add(key)
+        try:
+            layout = volume.mapper.stripe_layout(self.zone, stripe)
+            rebuilt = yield from self._reconstruct_su(
+                stripe, layout, su_index,
+                volume.mapper.zone_start(self.zone)
+                + (stripe + 1) * self.width)
+        finally:
+            self._repairing.discard(key)
+        if rebuilt is None or len(rebuilt) < take:
+            raise bio.error
+        return b"".join((rebuilt[:take], bytes(length - take)))
 
     # Analysis -----------------------------------------------------------------
 
@@ -775,6 +832,13 @@ class _ZoneContent:
         no parity information exists.
         """
         volume = self.volume
+        relocated = volume.relocated_parity.get((self.zone, stripe))
+        if relocated is not None and len(relocated) == self.su:
+            # Relocated parity (in-place write conflicted, §5.2): the
+            # true full parity — the on-device parity SU, if any, holds
+            # stale bytes and must not be read.
+            return (yield from self._xor_siblings(stripe, layout,
+                                                  su_index, relocated))
         parity_extent = self._su_extent(stripe, layout.parity_device)
         zone_pba = self.zone * volume.phys_zone_size
         if parity_extent == self.su:
@@ -790,21 +854,32 @@ class _ZoneContent:
             # only up to the shortest sibling extent; returning the
             # shorter prefix makes ``_repair_stripe`` roll the zone back
             # instead of patching corrupt bytes onto the device.
-            acc = bytearray(self.su)
-            bio = yield volume.devices[layout.parity_device].submit(
-                Bio.read(zone_pba + stripe * self.su, self.su))
-            xor_into(acc, bio.result)
-            valid = self.su
-            for j, other in enumerate(layout.data_devices):
-                if j == su_index:
-                    continue
-                valid = min(valid, self._data_extent(stripe, j, other) or 0)
-                data = yield from self._read_su_prefix(stripe, j, other,
-                                                       self.su)
-                xor_into(acc, data)
-            return bytes(acc[:valid])
+            probe = Bio.read(zone_pba + stripe * self.su, self.su)
+            # A latent media error on the parity PBA is tolerated: the
+            # partial-parity fallback below may still reconstruct.
+            probe.errors_as_status = True
+            bio = yield volume.devices[layout.parity_device].submit(probe)
+            if bio.error is None:
+                return (yield from self._xor_siblings(stripe, layout,
+                                                      su_index, bio.result))
         return (yield from self._reconstruct_from_partial_parity(
             stripe, layout, su_index))
+
+    def _xor_siblings(self, stripe: int, layout, su_index: int, parity):
+        """XOR full parity against the sibling data SUs.
+
+        Exact only up to the shortest sibling extent (see the caller's
+        rollback rationale); the returned prefix is clipped accordingly.
+        """
+        acc = bytearray(parity)
+        valid = self.su
+        for j, other in enumerate(layout.data_devices):
+            if j == su_index:
+                continue
+            valid = min(valid, self._data_extent(stripe, j, other) or 0)
+            data = yield from self._read_su_prefix(stripe, j, other, self.su)
+            xor_into(acc, data)
+        return bytes(acc[:valid])
 
     def _reconstruct_from_partial_parity(self, stripe: int, layout,
                                          su_index: int):
@@ -815,39 +890,61 @@ class _ZoneContent:
             return None
         zone_start = volume.mapper.zone_start(self.zone)
         stripe_lba = zone_start + stripe * self.width
-        coverage_end = self._contiguous_coverage(entries, stripe_lba)
-        if coverage_end <= stripe_lba:
+        haves = {j: self._data_extent(stripe, j, other) or 0
+                 for j, other in enumerate(layout.data_devices)
+                 if j != su_index}
+        # Choose the longest *usable* prefix of the (disjoint, append-
+        # ordered) delta chain.  An entry describing sibling-SU bytes
+        # that did not survive the crash pollutes the parity positions at
+        # and past that sibling's extent — those bytes fall under §5.1's
+        # rollback rule ("data at any LBAs at or higher than this missing
+        # data is discarded") and cannot be cancelled out of the XOR.
+        # A longer chain therefore does not always recover more of the
+        # target SU: a late multi-SU delta can wipe out positions an
+        # earlier single-SU prefix reconstructed exactly.  Scan prefixes,
+        # tracking contiguous coverage and the first polluted parity
+        # offset, and keep the best trade-off.
+        best = 0
+        best_end = stripe_lba
+        coverage = stripe_lba
+        first_polluted = self.su
+        for start, stop in sorted((e.start_lba, e.end_lba) for e in entries):
+            if start > coverage:
+                break  # gap in the chain; later deltas are unusable
+            for j, have in haves.items():
+                su_lo = stripe_lba + j * self.su
+                lo = max(start, su_lo + have)
+                hi = min(stop, su_lo + self.su)
+                if lo < hi:
+                    first_polluted = min(first_polluted, lo - su_lo)
+            coverage = max(coverage, stop)
+            t_cov = max(0, min(self.su,
+                               (coverage - stripe_lba) - su_index * self.su))
+            usable = min(t_cov, first_polluted)
+            if usable > best:
+                best = usable
+                best_end = coverage
+        if best <= 0:
             return None
         acc = bytearray(self.su)
-        # Only deltas inside the gap-free chain participate: an entry
-        # beyond a coverage gap describes data that is being discarded,
-        # and its delta may alias low parity positions of other SUs.
         for entry in entries:
-            if entry.end_lba > coverage_end:
+            if entry.end_lba > best_end:
                 continue
             parity_offset, delta = decode_partial_parity(entry)
             xor_into(acc, delta, parity_offset)
         # Fold in the surviving data SUs up to the covered end, zero
-        # padding beyond each unit's persisted extent.
-        covered = coverage_end - stripe_lba
-        recoverable = max(0, min(self.su, covered - su_index * self.su))
+        # padding beyond each unit's persisted extent.  Positions past
+        # ``best`` may be garbage (polluted or uncovered) — sliced off.
+        covered = best_end - stripe_lba
         for j, other in enumerate(layout.data_devices):
             if j == su_index:
                 continue
             su_covered = max(0, min(self.su, covered - j * self.su))
-            have = self._data_extent(stripe, j, other) or 0
             if su_covered:
                 data = yield from self._read_su_prefix(stripe, j, other,
                                                        su_covered)
                 xor_into(acc, data)
-            if su_covered > have:
-                # The delta chain includes contributions from SU ``j``
-                # bytes that did not themselves survive; parity positions
-                # at or past that unit's persisted extent are polluted
-                # and unrecoverable (§5.1: "data at any LBAs at or higher
-                # than this missing data is discarded").
-                recoverable = min(recoverable, have)
-        return bytes(acc[:recoverable])
+        return bytes(acc[:best])
 
     @staticmethod
     def _contiguous_coverage(entries: List[MetadataEntry],
@@ -877,6 +974,7 @@ class _ZoneContent:
         if self.partial_parity:
             last = max(last, max(self.partial_parity))
         wp = zone_start
+        torn_parity: List[int] = []
         for stripe in range(last + 1):
             layout = volume.mapper.stripe_layout(self.zone, stripe)
             stripe_lba = zone_start + stripe * self.width
@@ -884,12 +982,16 @@ class _ZoneContent:
             for i, device in enumerate(layout.data_devices):
                 if device == missing:
                     continue
-                if (self._su_extent(stripe, device) or 0) < self.su:
+                # Relocation-aware: an SU whose valid bytes live in the
+                # relocation log is complete even though the device's
+                # data zone holds fewer (or stale) bytes.
+                if (self._data_extent(stripe, i, device) or 0) < self.su:
                     complete = False
                     break
-            parity_ok = (layout.parity_device == missing or
-                         (self._su_extent(stripe, layout.parity_device) or 0)
-                         == self.su)
+            parity_ok = (layout.parity_device == missing
+                         or (self._su_extent(stripe, layout.parity_device)
+                             or 0) == self.su
+                         or (self.zone, stripe) in volume.relocated_parity)
             if complete and parity_ok:
                 wp = stripe_lba + self.width
                 continue
@@ -897,25 +999,88 @@ class _ZoneContent:
             # partial parity coverage; data beyond it is discarded.
             wp = self._degraded_tail_wp(stripe, layout, missing, stripe_lba,
                                         max_written)
-            break
+            if wp < stripe_lba + self.width:
+                break
+            # Every data SU is fully covered (device, relocation log, or
+            # partial parity) — only the parity SU is torn or missing.
+            # That does not cap the write pointer any more than it does
+            # in non-degraded recovery (``_heal_parity``); keep scanning,
+            # and materialize the true parity below so degraded reads of
+            # the missing device's SU do not XOR the torn on-device copy.
+            if layout.parity_device != missing:
+                torn_parity.append(stripe)
         self.logical_wp = min(wp, zone_start + volume.zone_capacity)
-        if False:
-            yield  # pragma: no cover - keeps this a generator
+        for stripe in torn_parity:
+            yield from self._record_degraded_parity(stripe, missing)
+
+    def _record_degraded_parity(self, stripe: int, missing: int):
+        """True parity of a fully-covered stripe whose on-device parity
+        SU is torn, recorded in ``relocated_parity`` (the map the read
+        path's reconstruction already prefers over the device copy).
+
+        The missing device's data SU is rebuilt from its relocation unit
+        or the partial-parity chain — both verified to cover the full SU
+        by the write-pointer scan above.
+        """
+        volume = self.volume
+        layout = volume.mapper.stripe_layout(self.zone, stripe)
+        if (self.zone, stripe) in volume.relocated_parity:
+            return
+        from .parity import stripe_parity
+        units = []
+        for j, device in enumerate(layout.data_devices):
+            if device == missing and \
+                    (self._data_extent(stripe, j, device) or 0) < self.su:
+                chunk = yield from self._reconstruct_degraded_chunk(
+                    stripe, layout, j, self.su)
+            else:
+                chunk = yield from self._read_su_prefix(stripe, j, device,
+                                                        self.su)
+            units.append(chunk)
+        volume.relocated_parity[(self.zone, stripe)] = \
+            stripe_parity(units, self.su)
 
     def _degraded_tail_wp(self, stripe: int, layout, missing: int,
                           stripe_lba: int, max_written: int) -> int:
         entries = self.partial_parity.get(stripe, [])
         pp_end = self._contiguous_coverage(entries, stripe_lba)
         if layout.parity_device == missing:
-            # Data devices all survive; the tail is whatever is on them.
-            return max(max_written, stripe_lba)
+            # Data devices all survive, but each may hold a crash-torn SU;
+            # the tail ends at the first gap among them.  Bytes beyond a
+            # gap were never flush-acknowledged (a flush ack requires
+            # every piece durable), so discarding them is legal — and with
+            # the parity device gone there is no redundancy to repair the
+            # hole from.  ``max_written`` alone would leap over the gap
+            # and resurrect unacknowledged data.
+            wp = stripe_lba
+            for i, device in enumerate(layout.data_devices):
+                su_lba = stripe_lba + i * self.su
+                extent = self._data_extent(stripe, i, device) or 0
+                if extent < self.su:
+                    return su_lba + extent
+                wp = su_lba + extent
+            return wp
         wp = stripe_lba
         for i, device in enumerate(layout.data_devices):
             su_lba = stripe_lba + i * self.su
             if device == missing:
-                extent = max(0, min(self.su, pp_end - su_lba))
+                # A relocation unit (device-independent, replayed from
+                # the surviving metadata logs) can cover the missing
+                # device's SU; otherwise partial parity bounds it.
+                extent = self._data_extent(stripe, i, device)
+                if extent is None:
+                    extent = max(0, min(self.su, pp_end - su_lba))
+                    if (self.zone, stripe) in self.volume.relocated_parity:
+                        # Full relocated parity survives: the missing SU
+                        # is reconstructable wherever every live sibling
+                        # holds valid bytes.
+                        sib = min((self._data_extent(stripe, j, other) or 0
+                                   for j, other in
+                                   enumerate(layout.data_devices) if j != i),
+                                  default=self.su)
+                        extent = max(extent, sib)
             else:
-                extent = self._su_extent(stripe, device) or 0
+                extent = self._data_extent(stripe, i, device) or 0
             if extent < self.su:
                 return su_lba + extent
             wp = su_lba + extent
@@ -937,11 +1102,9 @@ class _ZoneContent:
             return
         stripe = in_zone // self.width
         fill = in_zone % self.width
-        buffer = desc.buffers.acquire(stripe)
         layout = volume.mapper.stripe_layout(self.zone, stripe)
         data = bytearray(fill)
         missing = self._missing_device()
-        zone_pba = self.zone * volume.phys_zone_size
         for i, device in enumerate(layout.data_devices):
             lo = i * self.su
             if lo >= fill:
@@ -951,13 +1114,83 @@ class _ZoneContent:
                 chunk = yield from self._reconstruct_degraded_chunk(
                     stripe, layout, i, take)
             else:
-                chunk = yield from self._read_su_prefix(stripe, i, device,
-                                                        take)
+                try:
+                    chunk = yield from self._read_su_prefix(
+                        stripe, i, device, take)
+                except MediaError:
+                    # Compound fault: a latent extent under the tail SU
+                    # that parity could not fully rebuild.  Salvage the
+                    # genuine prefix and roll the zone back instead of
+                    # failing the mount.
+                    yield from self._rollback_torn_tail(
+                        desc, stripe, layout, i, device, take)
+                    return
             data[lo:lo + take] = chunk
+        buffer = desc.buffers.acquire(stripe)
         buffer.absorb(0, bytes(data))
+
+    def _rollback_torn_tail(self, desc, stripe: int, layout, su_index: int,
+                            device: int, take: int):
+        """§5.2-style rollback over an unreconstructable torn tail SU.
+
+        The SU cannot be read (unrecoverable media error) nor fully
+        rebuilt (the partial-parity chain falls short of the device
+        extent).  That combination is only possible for bytes that were
+        never durably acknowledged: a durable ack — FUA or flush —
+        requires the covering partial parity to be durable first, so any
+        acknowledged byte of this SU is reconstructable.  Salvage the
+        longest genuine prefix — the clean on-media bytes before the bad
+        extent, or the partial-parity rebuild, whichever is longer —
+        into a persisted relocation unit (the media copy is untrustworthy
+        past the bad extent's start), roll the logical write pointer back
+        to its end, and arm relocation markers over the stale remainder.
+        """
+        volume = self.volume
+        su_lba = volume.mapper.su_lba(self.zone, stripe, su_index)
+        try:
+            rebuilt = yield from self._reconstruct_su(
+                stripe, layout, su_index, su_lba + take)
+        except MediaError:
+            rebuilt = None
+        content = bytes(rebuilt[:take]) if rebuilt else b""
+        dev = volume.devices[device]
+        pba = self.zone * volume.phys_zone_size + stripe * self.su
+        bad = [max(0, lo - pba) for lo, hi in dev.bad_extents(self.zone)
+               if lo < pba + take and hi > pba]
+        clean = min(bad) if bad else 0
+        if clean > len(content):
+            bio = yield dev.submit(Bio.read(pba, clean))
+            content = bytes(bio.result)
+        if content:
+            unit = volume.relocations.unit_for(su_lba, device, self.zone)
+            unit.write(su_lba, content)
+            entry = encode_relocated_su(su_lba, content,
+                                        volume.generation[self.zone])
+            yield from volume.mdzones[device].append(
+                MetadataRole.GENERAL, entry, fua=True)
+            desc.has_relocations = True
+        new_wp = su_lba + len(content)
+        self.logical_wp = new_wp
+        desc.write_pointer = new_wp
+        if new_wp == desc.start_lba:
+            desc.state = ZoneState.EMPTY
+        elif desc.state is ZoneState.FULL:
+            desc.state = ZoneState.CLOSED
+        self.has_relocation_conflicts = True
+        yield from self._arm_stale_relocations(new_wp)
+        # The tail stripe changed: rebuild the buffer for the new tail.
+        # The salvaged SU is now served from its relocation unit, so
+        # this cannot re-raise for the same extent.
+        yield from self.rebuild_tail_buffer(desc)
 
     def _reconstruct_degraded_chunk(self, stripe: int, layout, su_index: int,
                                     take: int):
+        relocated = self.volume.relocated_parity.get((self.zone, stripe))
+        if relocated is not None and len(relocated) == self.su:
+            rebuilt = yield from self._xor_siblings(stripe, layout, su_index,
+                                                    relocated)
+            if len(rebuilt) >= take:
+                return rebuilt[:take]
         reconstructed = yield from self._reconstruct_from_partial_parity(
             stripe, layout, su_index)
         if reconstructed is None or len(reconstructed) < take:

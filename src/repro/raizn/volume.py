@@ -537,8 +537,15 @@ class RaiznVolume:
         #: fan-out (stripe/piece bounds, target devices, stripe-relative
         #: addresses), so steady-state appends skip the address
         #: arithmetic.  Runtime state — device availability, write-pointer
-        #: conflicts, relocations — is still checked at execution.
+        #: conflicts, relocations — is still checked at execution.  The
+        #: cache is valid only within one array-membership epoch: any
+        #: eviction/degraded-mode/rejoin transition must call
+        #: :meth:`invalidate_write_plans` so no plan built under the old
+        #: membership is replayed under the new one.
         self._plan_cache: Dict[Tuple[int, int, int], tuple] = {}
+        #: Bumped on every membership/degraded transition (eviction,
+        #: rebuild start, rebuild completion).
+        self._membership_epoch = 0
         self._num_rotations = self.mapper.num_rotations
         #: Recycled :class:`_WriteJoin` objects (see its docstring).
         self._join_free: List[_WriteJoin] = []
@@ -2107,6 +2114,19 @@ class RaiznVolume:
 
     # ------------------------------------------------------------------ fault handling
 
+    def invalidate_write_plans(self) -> None:
+        """Drop cached write plans on a membership/degraded transition.
+
+        Cached plans are pure geometry, but they are consumed under
+        emit-time availability/conflict checks that assume the
+        membership they were built under; clearing the cache (and
+        bumping the epoch) on every eviction, rebuild start, and rejoin
+        keeps each cached plan trivially confined to a single
+        membership epoch.
+        """
+        self._membership_epoch += 1
+        self._plan_cache.clear()
+
     def fail_device(self, index: int, remove: bool = True) -> None:
         """Fail (and optionally remove) one array device."""
         if self.failed[index]:
@@ -2122,3 +2142,4 @@ class RaiznVolume:
         if remove:
             self.devices[index] = None
             self.mdzones[index] = None
+        self.invalidate_write_plans()

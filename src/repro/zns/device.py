@@ -59,6 +59,7 @@ class ZNSDevice(BlockDevice):
         max_open_zones: int = DEFAULT_MAX_OPEN_ZONES,
         max_active_zones: int = DEFAULT_MAX_ACTIVE_ZONES,
         atomic_write_bytes: int = SECTOR_SIZE,
+        zone_reset_limit: Optional[int] = None,
         seed: int = 0,
     ):
         if zone_size is None:
@@ -91,6 +92,15 @@ class ZNSDevice(BlockDevice):
         #: the empty dict costs nothing on the read hot path beyond one
         #: dict lookup.
         self._bad_extents: Dict[int, List[Tuple[int, int]]] = {}
+        #: Finite erase endurance: each zone reset consumes one
+        #: program/erase cycle from that zone's budget.  ``None`` models
+        #: an unlimited device (the default); with a limit, the reset
+        #: that spends the last cycle still succeeds but leaves the zone
+        #: READ_ONLY — the §2.1 end-of-life transition — and further
+        #: resets of that zone are rejected.
+        self.zone_reset_limit = zone_reset_limit
+        #: Lifetime reset count per zone index (sparse; absent == 0).
+        self._reset_counts: Dict[int, int] = {}
 
     # -- address helpers --------------------------------------------------------
 
@@ -312,6 +322,14 @@ class ZNSDevice(BlockDevice):
                 f"{self.name}: zone reset offset {bio.offset:#x} is not "
                 "a zone start")
         zone = self.zone_at(bio.offset)
+        if self.zone_reset_limit is not None and \
+                self._reset_counts.get(zone.index, 0) >= \
+                self.zone_reset_limit:
+            # The erase budget is spent: the zone is end-of-life and a
+            # reset (an erase) is exactly what it can no longer do.
+            raise ZoneStateError(
+                f"{self.name}: zone {zone.index} is worn out "
+                f"({self.zone_reset_limit} resets); cannot reset")
         old_state = zone.state
         zone.reset()
         zone.state = old_state          # let _transition do the accounting
@@ -325,6 +343,13 @@ class ZNSDevice(BlockDevice):
         # An erase block rewrite clears grown media defects for our model:
         # a reset zone starts over with clean media.
         self._bad_extents.pop(zone.index, None)
+        spent = self._reset_counts.get(zone.index, 0) + 1
+        self._reset_counts[zone.index] = spent
+        if self.zone_reset_limit is not None and \
+                spent >= self.zone_reset_limit:
+            # Last erase cycle: the reset itself succeeded, but the
+            # zone comes back read-only (empty and unwritable).
+            self._transition(zone, ZoneState.READ_ONLY)
         return 0.0
 
     def _apply_finish(self, bio: Bio) -> float:
@@ -527,14 +552,17 @@ class ZNSDevice(BlockDevice):
             self._rng.getstate(),
             {index: list(extents)
              for index, extents in self._bad_extents.items()},
+            dict(self._reset_counts),
         )
 
     def restore_crash_snapshot(self, snapshot: Tuple) -> None:
         """Restore state captured by :meth:`crash_snapshot` (quiescent IO)."""
         zones, open_count, active_count, dirty, powered, failed, rng_state = \
             snapshot[:7]
-        # Snapshots predating latent-error support carry no extent map.
+        # Snapshots predating latent-error / endurance support carry no
+        # extent map / reset counters.
         bad = snapshot[7] if len(snapshot) > 7 else {}
+        resets = snapshot[8] if len(snapshot) > 8 else {}
         for zone, (state, wp, dp, lwt, fbc, prefix) in zip(self.zones, zones):
             zone.state = state
             zone.write_pointer = wp
@@ -550,6 +578,7 @@ class ZNSDevice(BlockDevice):
         self._rng.setstate(rng_state)
         self._bad_extents = {index: list(extents)
                              for index, extents in bad.items()}
+        self._reset_counts = dict(resets)
         # A drained event loop leaves no channel holders; reset defensively
         # so a restored device never inherits a stale grant.
         self.channels.in_use = 0
@@ -581,6 +610,26 @@ class ZNSDevice(BlockDevice):
     def bad_extents(self, index: int) -> List[Tuple[int, int]]:
         """The injected UNC spans currently live in zone ``index``."""
         return list(self._bad_extents.get(index, ()))
+
+    def zone_reset_count(self, index: int) -> int:
+        """Lifetime erase (reset) cycles consumed by zone ``index``."""
+        return self._reset_counts.get(index, 0)
+
+    def worn_zones(self) -> List[int]:
+        """Zones whose erase budget is exhausted (empty if unlimited)."""
+        if self.zone_reset_limit is None:
+            return []
+        return sorted(index for index, spent in self._reset_counts.items()
+                      if spent >= self.zone_reset_limit)
+
+    def endurance_report(self) -> dict:
+        """Wear summary: total resets, per-zone peak, worn-out zones."""
+        return {
+            "reset_limit": self.zone_reset_limit,
+            "total_resets": sum(self._reset_counts.values()),
+            "max_zone_resets": max(self._reset_counts.values(), default=0),
+            "worn_zones": self.worn_zones(),
+        }
 
     def set_zone_read_only(self, index: int) -> None:
         """Inject an end-of-life READ_ONLY transition for zone ``index``."""

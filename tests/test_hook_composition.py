@@ -1,0 +1,131 @@
+"""Hook chaining across composed fault layers (soak-campaign regressions).
+
+Arming a second fault layer on the same devices used to *clobber* the
+first layer's device hook, and disarming used to null the slot outright,
+silently removing whichever layer was still armed.  The soak campaign
+(``repro.harness.soaktest``) arms error injection, fail-slow delays,
+crash triggers, and completion-boundary snapshots on one array at once,
+so the chain/restore discipline is load-bearing there.
+"""
+
+import pytest
+
+from repro.block import Bio
+from repro.errors import PowerLossError, TransientCommandError
+from repro.faults import (
+    CompletionBoundaries,
+    CrashPoint,
+    FaultPlan,
+    SlowDeviceSpec,
+    SlowPlan,
+)
+from repro.units import KiB, MiB
+from repro.zns import ZNSDevice
+
+from conftest import TEST_STRIPE_UNIT, make_volume, pattern
+
+SU = TEST_STRIPE_UNIT
+STRIPE = 4 * SU
+
+
+class TestCompletionBoundariesChaining:
+    def test_existing_hook_keeps_running(self, zns):
+        seen = []
+        zns.completion_hook = lambda dev, bio: seen.append(bio.op)
+        cb = CompletionBoundaries([zns], snapshot_at={2})
+        for i in range(3):
+            zns.execute(Bio.write(i * 8 * KiB, pattern(8 * KiB, seed=i)))
+        assert cb.count == 3
+        assert len(seen) == 3
+        assert set(cb.snapshots) == {2}
+
+    def test_disarm_restores_previous_hook(self, zns):
+        seen = []
+
+        def base(dev, bio):
+            seen.append(1)
+
+        zns.completion_hook = base
+        cb = CompletionBoundaries([zns])
+        cb.disarm()
+        assert zns.completion_hook is base
+        zns.execute(Bio.write(0, pattern(8 * KiB, seed=1)))
+        assert seen == [1]
+        assert cb.count == 0
+
+    def test_disarm_under_later_layer_goes_quiet_not_removed(self, zns):
+        cb = CompletionBoundaries([zns])
+        prev = zns.completion_hook
+        later = []
+
+        def top(dev, bio):
+            prev(dev, bio)
+            later.append(1)
+
+        zns.completion_hook = top
+        zns.execute(Bio.write(0, pattern(8 * KiB, seed=2)))
+        assert cb.count == 1 and later == [1]
+        cb.disarm()
+        zns.execute(Bio.write(8 * KiB, pattern(8 * KiB, seed=3)))
+        # The wrapper could not be unlinked (a later layer closes over
+        # it); it must stay in place as a pass-through.
+        assert zns.completion_hook is top
+        assert later == [1, 1]
+        assert cb.count == 1
+
+
+class TestCrashPointChaining:
+    def test_rejected_command_is_not_a_crash_candidate(self, sim):
+        dev = ZNSDevice(sim, num_zones=4, zone_capacity=1 * MiB)
+        plan = FaultPlan(seed=3, num_data_zones=4, transient_rate=1.0)
+        plan.arm([dev])
+        cp = CrashPoint([dev], after=1)
+        with pytest.raises(TransientCommandError):
+            dev.execute(Bio.write(0, pattern(8 * KiB, seed=4)))
+        assert plan.counts.transient == 1
+        # The chained plan rejected the command before it applied, so it
+        # must not trip the crash trigger either.
+        assert not cp.fired
+        assert dev.powered
+        cp.disarm()
+        plan.disarm()
+        assert dev.pre_apply_hook is None
+
+    def test_fires_through_chained_plan(self, sim):
+        dev = ZNSDevice(sim, num_zones=4, zone_capacity=1 * MiB)
+        plan = FaultPlan(seed=3, num_data_zones=4, transient_rate=0.0)
+        plan.arm([dev])
+        cp = CrashPoint([dev], after=1)
+        with pytest.raises(PowerLossError):
+            dev.execute(Bio.write(0, pattern(8 * KiB, seed=5)))
+        assert cp.fired
+        assert not dev.powered
+
+
+class TestThreeLayerMatrix:
+    def test_layers_compose_and_unwind(self, sim):
+        volume, devices = make_volume(sim)
+        plan = FaultPlan(seed=1, num_data_zones=volume.num_data_zones,
+                         stripe_unit_bytes=SU, latent_rate=1.0, max_latent=2)
+        plan.arm(devices)
+        slow = SlowPlan(seed=2, specs=[
+            SlowDeviceSpec(device_index=1, degrade_factor=4.0)])
+        slow.arm(devices)
+        cb = CompletionBoundaries(devices, snapshot_at={5})
+        data = pattern(2 * STRIPE, seed=9)
+        volume.execute(Bio.write(0, data))
+        volume.execute(Bio.flush())
+        # Every layer observed the same workload.
+        assert cb.count > 5 and 5 in cb.snapshots
+        assert plan.counts.latent >= 1
+        assert slow.counts.slowed_commands.get(1, 0) >= 1
+        # LIFO unwind restores every slot to its pre-arm state.
+        cb.disarm()
+        slow.disarm()
+        plan.disarm()
+        for dev in devices:
+            assert dev.completion_hook is None
+            assert dev.pre_apply_hook is None
+            assert dev.service_delay_hook is None
+        # The array still serves (and heals) the injected stripes.
+        assert volume.execute(Bio.read(0, len(data))).result == data

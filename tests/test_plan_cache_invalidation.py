@@ -1,0 +1,51 @@
+"""Write-plan cache vs array-membership transitions (soak regression).
+
+Cached write plans are pure geometry, but they are consumed under
+emit-time availability checks that assume the membership they were built
+under.  Every eviction, rebuild start (rejoin), and rebuild completion
+must invalidate the cache so no plan crosses a membership epoch.
+"""
+
+from repro.block import Bio
+from repro.faults.devicefail import fresh_replacement
+from repro.raizn.rebuild import rebuild
+
+from conftest import TEST_STRIPE_UNIT, make_volume, pattern
+
+SU = TEST_STRIPE_UNIT
+STRIPE = 4 * SU
+
+
+def test_eviction_clears_cached_plans(sim):
+    volume, devices = make_volume(sim)
+    volume.execute(Bio.write(0, pattern(STRIPE, seed=1)))
+    assert volume._plan_cache, "steady-state writes should cache plans"
+    epoch = volume._membership_epoch
+    volume.fail_device(2)
+    assert not volume._plan_cache
+    assert volume._membership_epoch == epoch + 1
+
+
+def test_rebuild_rejoin_and_completion_bump_epoch(sim):
+    volume, devices = make_volume(sim)
+    volume.execute(Bio.write(0, pattern(2 * STRIPE, seed=2)))
+    volume.execute(Bio.flush())
+    volume.fail_device(1)
+    epoch = volume._membership_epoch
+    replacement = fresh_replacement(sim, devices[0], "zns1b", seed=99)
+    rebuild(sim, volume, 1, replacement)
+    # One transition when the replacement rejoins (rebuilt_zones gating
+    # starts), one when the rebuild completes (gating lifted).
+    assert volume._membership_epoch == epoch + 2
+    assert not volume._plan_cache
+
+
+def test_mid_workload_eviction_keeps_data_consistent(sim):
+    volume, devices = make_volume(sim)
+    first = pattern(STRIPE, seed=3)
+    volume.execute(Bio.write(0, first))          # caches the zone-0 plan
+    volume.fail_device(3)                        # membership transition
+    more = pattern(2 * STRIPE, seed=4)
+    volume.execute(Bio.write(STRIPE, more))      # same zone, degraded
+    assert volume.execute(Bio.read(0, STRIPE)).result == first
+    assert volume.execute(Bio.read(STRIPE, len(more))).result == more

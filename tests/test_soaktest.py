@@ -1,0 +1,39 @@
+"""The compound-fault soak campaign: quick run passes, deterministically.
+
+One campaign composes all four fault dimensions (crash/recover cycles,
+latent+transient error injection, fail-slow delays, wear/endurance) on a
+single array with GC, scrub, and rebuild pressure, and checks the
+integrity oracle at every phase boundary.  These tests pin the quick
+profile's acceptance bar and its bit-for-bit determinism.
+"""
+
+from repro.harness.soaktest import MECHANISMS, run_soaktest
+
+
+def test_quick_campaign_passes():
+    report = run_soaktest(seed=0, quick=True)
+    assert report["passed"], report["violations"] or report
+    assert report["violations"] == []
+    assert report["pruning"]["escapes"] == []
+    assert report["pruning"]["ratio"] >= 0.3
+    assert report["pruning"]["verified_sample"] > 0
+    assert len(report["mechanisms_exercised"]) >= 3
+    assert set(report["mechanisms_exercised"]) <= set(MECHANISMS)
+    assert report["injected"]["total"] > 0
+    assert report["slowed_commands"] > 0
+    assert report["crash_cycles"] >= 1
+
+
+def test_quick_campaign_is_deterministic():
+    first = run_soaktest(seed=0, quick=True)
+    second = run_soaktest(seed=0, quick=True)
+    assert first["campaign_fingerprint"] == second["campaign_fingerprint"]
+    assert first["mechanism_signatures"] == second["mechanism_signatures"]
+    assert first["pruning"] == second["pruning"]
+    assert first["violations"] == second["violations"]
+
+
+def test_seed_changes_the_campaign():
+    base = run_soaktest(seed=0, quick=True)
+    other = run_soaktest(seed=1, quick=True)
+    assert base["campaign_fingerprint"] != other["campaign_fingerprint"]

@@ -10,14 +10,21 @@ flushes, FUA) are applied at completion time.
 
 from __future__ import annotations
 
+import heapq
 import random
 from collections import deque
 from typing import Deque, Iterable, List, Optional, Tuple
 
-from ..errors import DeviceError, DeviceFailedError, PowerLossError
+from ..errors import (DeviceError, DeviceFailedError, PowerLossError,
+                      SimulationError)
 from ..sim import Event, Resource, Simulator
+from ..units import SECTOR_SIZE
 from .bio import Bio, BioFlags, Op
 from .timing import ServiceTimeModel
+
+#: Sector size is a power of two; a single masked test covers both the
+#: offset and length alignment checks on the hot submit path.
+_SECTOR_MASK = SECTOR_SIZE - 1
 
 
 class DeviceStats:
@@ -121,6 +128,10 @@ class BlockDevice:
         self.name = name
         self.size_bytes = size_bytes
         self.model = model
+        # Pipeline latencies are per-op constants of the model; caching
+        # them here skips a method call per command completion.
+        self._pl_read = model.pipeline_latency(Op.READ)
+        self._pl_write = model.pipeline_latency(Op.WRITE)
         self.channels = Resource(sim, model.channels)
         # Commands waiting for a free channel, FIFO.  A plain deque of
         # (bio, extra_time, done) tuples: queueing a command costs no
@@ -164,16 +175,24 @@ class BlockDevice:
         failed.  ``done`` lets a caller that recycles completion events
         through ``Simulator.recycle`` supply a pooled one.
         """
-        bio.submit_time = self.sim.now
+        sim = self.sim
+        bio.submit_time = sim.now
         if done is None:
-            done = self.sim.event()
-        if self.failed:
-            self._reject(bio, done,
-                         DeviceFailedError(f"{self.name} has failed"))
-            return done
-        if not self.powered:
-            self._reject(bio, done,
-                         PowerLossError(f"{self.name} is powered off"))
+            # ``Simulator.event`` inlined (one call per command).
+            free = sim._event_free
+            if free:
+                done = free.pop()
+                done.triggered = False
+                done.ok = True
+            else:
+                done = Event(sim)
+        if self.failed or not self.powered:
+            if self.failed:
+                self._reject(bio, done,
+                             DeviceFailedError(f"{self.name} has failed"))
+            else:
+                self._reject(bio, done,
+                             PowerLossError(f"{self.name} is powered off"))
             return done
         try:
             if self.pre_apply_hook is not None:
@@ -184,7 +203,8 @@ class BlockDevice:
                 if self.failed:
                     raise DeviceFailedError(
                         f"{self.name} failed (fault injection)")
-            bio.check_alignment()
+            if (bio.offset | bio.length) & _SECTOR_MASK:
+                bio.check_alignment()
             extra_time = self._apply(bio)
         except DeviceError as exc:
             self._reject(bio, done, exc)
@@ -196,7 +216,20 @@ class BlockDevice:
         # from double-counting.
         if not bio.counted:
             bio.counted = True
-            self.stats.account(bio)
+            # ``DeviceStats.account`` inlined: one call per command.
+            stats = self.stats
+            op = bio.op
+            if op is Op.WRITE or op is Op.ZONE_APPEND:
+                stats.writes += 1
+                stats.bytes_written += bio.length
+                stats.media_bytes_written += bio.length
+            elif op is Op.READ:
+                stats.reads += 1
+                stats.bytes_read += bio.length
+            elif op is Op.FLUSH:
+                stats.flushes += 1
+            else:
+                stats.zone_mgmt += 1
         if self.tracer is not None:
             # Device spans stay off the object heap until completion:
             # the parent link rides in ``bio.span`` (an int, untracked
@@ -210,7 +243,31 @@ class BlockDevice:
         channels = self.channels
         if channels.in_use < channels.capacity:
             channels.in_use += 1
-            self._grant(bio, extra_time, done)
+            # Inlined ``_grant`` (the uncontended case): same steps, one
+            # call frame and one ``schedule`` indirection fewer.
+            if bio.span is not None:
+                bio.span_grant = sim.now
+            op = bio.op
+            model = self.model
+            if op is Op.WRITE or op is Op.ZONE_APPEND:
+                # ``occupancy_time`` inlined for the dominant ops; the
+                # jitter expansion matches rng.uniform bit for bit (see
+                # the model's __post_init__).
+                occupancy = model.command_overhead + \
+                    bio.length / model._write_rate
+                jitter = model.jitter
+                if jitter > 0:
+                    occupancy *= 1.0 + (-jitter +
+                                        model._jitter_span *
+                                        self._rng.random())
+            else:
+                occupancy = model.occupancy_time(op, bio.length, self._rng)
+            if self.service_delay_hook is not None:
+                occupancy += self.service_delay_hook(self, bio)
+            sim._seq += 1
+            heapq.heappush(sim._heap,
+                           (sim.now + occupancy + extra_time, sim._seq,
+                            self._channel_done, (bio, done)))
         else:
             self._channel_queue.append((bio, extra_time, done))
         return done
@@ -246,10 +303,24 @@ class BlockDevice:
         """A channel is ours: hold it for the occupancy time."""
         if bio.span is not None:
             bio.span_grant = self.sim.now  # queue wait ends, service begins
-        occupancy = self.model.occupancy_time(bio.op, bio.length, self._rng)
+        op = bio.op
+        model = self.model
+        if op is Op.WRITE or op is Op.ZONE_APPEND:
+            # Same inlined occupancy as ``submit``'s uncontended branch.
+            occupancy = model.command_overhead + \
+                bio.length / model._write_rate
+            jitter = model.jitter
+            if jitter > 0:
+                occupancy *= 1.0 + (-jitter +
+                                    model._jitter_span * self._rng.random())
+        else:
+            occupancy = model.occupancy_time(op, bio.length, self._rng)
         if self.service_delay_hook is not None:
             occupancy += self.service_delay_hook(self, bio)
-        self.sim.schedule(occupancy + extra_time, self._channel_done, bio, done)
+        sim = self.sim
+        sim._seq += 1
+        heapq.heappush(sim._heap, (sim.now + occupancy + extra_time, sim._seq,
+                                   self._channel_done, (bio, done)))
 
     def _channel_done(self, bio: Bio, done: Event) -> None:
         """Occupancy over: free the channel, wait out the pipeline latency."""
@@ -262,9 +333,23 @@ class BlockDevice:
             self.sim._now_queue.append((self._grant, queue.popleft()))
         else:
             self.channels.in_use -= 1
-        pipeline = self.model.pipeline_latency(bio.op)
+        op = bio.op
+        if op is Op.READ:
+            pipeline = self._pl_read
+        elif op is Op.WRITE or op is Op.ZONE_APPEND:
+            pipeline = self._pl_write
+        else:
+            pipeline = 0.0
         if pipeline > 0:
-            self.sim.schedule(pipeline, self._complete, bio, done)
+            # The fused completion may only run from its own heap entry:
+            # the now-queue is empty when the loop pops one, so the
+            # waiter continuation it invokes inline cannot jump ahead of
+            # queued work (unlike here, where a grant hand-off may
+            # already sit on the now-queue).
+            sim = self.sim
+            sim._seq += 1
+            heapq.heappush(sim._heap, (sim.now + pipeline, sim._seq,
+                                       self._complete_fused, (bio, done)))
         else:
             self._complete(bio, done)
 
@@ -309,6 +394,70 @@ class BlockDevice:
         done.succeed(bio)
         if self.completion_hook is not None:
             self.completion_hook(self, bio)
+
+    def _complete_fused(self, bio: Bio, done: Event) -> None:
+        """``_complete`` plus the waiter's continuation, as ONE engine step.
+
+        Entered only from a dedicated heap entry, where the engine
+        guarantees the now-queue is empty.  ``done.succeed`` would queue
+        the (single) waiter continuation as the very next entry and the
+        loop would pop it immediately after this frame returns — so
+        triggering the event here and invoking the continuation directly
+        (after the completion hook, exactly where the loop would have
+        run it) executes the same work in the same order without the
+        queue round-trip.  Completion batching per the engine's sibling
+        rule: the completion and its continuation ride one step.
+        """
+        if self.failed or not self.powered:
+            self._complete(bio, done)
+            return
+        if bio.flags or bio.aux is not None:
+            # Plain (non-FUA, non-flush) commands have no durability
+            # effect; every ``_persist`` implementation no-ops on them,
+            # so skip the call entirely.
+            self._persist(bio)
+        now = self.sim.now
+        # ``DeviceStats.observe_completion`` inlined, as with ``account``.
+        stats = self.stats
+        elapsed = now - bio.submit_time
+        op = bio.op
+        if op is Op.WRITE or op is Op.ZONE_APPEND:
+            stats.write_seconds += elapsed
+        elif op is Op.READ:
+            stats.read_seconds += elapsed
+        else:
+            stats.other_seconds += elapsed
+        parent = bio.span
+        if parent is not None:
+            bio.span = None
+            opname = bio.op._value_  # str key: Enum.__hash__ is Python-level
+            try:
+                site = self._trace_sites[opname]
+            except KeyError:
+                site = self._trace_sites[opname] = self.tracer.site(
+                    self.trace_layer, bio.op, self.name)
+            self.tracer.complete_io(site, bio.submit_time, bio.span_grant,
+                                    bio.length, parent)
+        bio.complete_time = now
+        # Trigger ``done`` without queueing the continuation (the succeed
+        # fast path's only effect beyond state changes).
+        if done.triggered:
+            raise SimulationError(f"{done!r} triggered twice")
+        done.triggered = True
+        done.value = bio
+        callback = done.callback
+        callbacks = None
+        if callback is not None:
+            done.callback = None
+            callbacks = done.callbacks
+            done.callbacks = None
+        if self.completion_hook is not None:
+            self.completion_hook(self, bio)
+        if callback is not None:
+            callback(done)
+            if callbacks is not None:
+                for fn in callbacks:
+                    fn(done)
 
     def _fail_inflight(self, bio: Bio, done: Event, exc: BaseException) -> None:
         # The command never completed; neither the trace nor io_seconds

@@ -67,6 +67,12 @@ class ServiceTimeModel:
                            self.read_bandwidth / self.channels)
         object.__setattr__(self, "_write_rate",
                            self.write_bandwidth / self.channels)
+        # Jitter constants for the inlined uniform draw below.
+        # ``random.Random.uniform(a, b)`` computes ``a + (b - a) * random()``;
+        # with a = -jitter, b = jitter the span b - a is exactly
+        # jitter + jitter in IEEE arithmetic, so the expansion reproduces
+        # the library call bit for bit while skipping its Python frame.
+        object.__setattr__(self, "_jitter_span", self.jitter + self.jitter)
 
     def occupancy_time(self, op: Op, nbytes: int,
                        rng: Optional[random.Random] = None) -> float:
@@ -82,8 +88,9 @@ class ServiceTimeModel:
         else:  # zone management
             transfer = self.zone_mgmt_latency
         total = self.command_overhead + transfer
-        if rng is not None and self.jitter > 0:
-            total *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        jitter = self.jitter
+        if rng is not None and jitter > 0:
+            total *= 1.0 + (-jitter + self._jitter_span * rng.random())
         return total
 
     def pipeline_latency(self, op: Op) -> float:

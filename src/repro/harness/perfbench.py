@@ -56,7 +56,7 @@ import dataclasses
 import hashlib
 import statistics
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..block.bio import Bio, BioFlags
 from ..raizn.config import RaiznConfig
@@ -224,7 +224,13 @@ class _Driver:
     def _step(self) -> None:
         event = self.volume.submit(self.requests[self.index])
         self.index += 1
-        event.add_callback(self._on_done)
+        # ``add_callback`` inlined for the untriggered, no-callback event
+        # ``submit`` returns in non-traced runs; anything else (tracer
+        # callback already attached) takes the general method.
+        if event.callback is None and not event.triggered:
+            event.callback = self._on_done
+        else:
+            event.add_callback(self._on_done)
         self.completions.append(event)
         if self.failures:
             raise self.failures[0]
@@ -379,9 +385,20 @@ def _run_scenario(name: str, scale: PerfScale, seed: int,
     for _ in range(max(1, repeats)):
         sim, volume, devices, bios = builder(scale, seed)
         sim_start = sim.now
-        wall_start = time.perf_counter()
-        moved = _drive(sim, volume, bios, scale.iodepth)
-        walls.append(time.perf_counter() - wall_start)
+        driver = _Driver(sim, volume, bios, scale.iodepth)
+        sim.schedule(0.0, driver._start)
+        # The timed window is the event-loop execution alone: driver
+        # setup, the drain verification below, and the context manager's
+        # closing gc.collect() all measure the harness, not the
+        # simulator, and were adding tens of milliseconds of noise.
+        with simulation_gc():
+            wall_start = time.perf_counter()
+            sim.run()
+            walls.append(time.perf_counter() - wall_start)
+        if driver.index < len(bios) or \
+                not all(e.triggered for e in driver.completions):
+            raise RuntimeError("driver stalled before draining all requests")
+        moved = sum(bio.length for bio in bios)
         run_digest = _digest_state(sim, volume, devices)
         if digest is None:
             digest = run_digest
@@ -562,11 +579,29 @@ def run_datapath_bench(fast: bool = False, seed: int = 20230403,
         import multiprocessing
 
         with multiprocessing.Pool(min(jobs, len(names))) as pool:
-            # pool.map returns results in submission order: the merge is
-            # deterministic no matter which worker finishes first.
-            results = pool.map(_run_scenario_job,
-                               [(name, fast, seed, repeats)
-                                for name in names])
+            # Results are collected per-scenario and merged BY NAME, never
+            # by completion order: a worker finishing out of order, dying,
+            # or answering for the wrong slot cannot silently drop or
+            # shuffle a scenario in the merged report (a dropped scenario
+            # used to sail through ``--check`` because only scenarios
+            # present in the report were compared).
+            handles = [(name, pool.apply_async(
+                _run_scenario_job, ((name, fast, seed, repeats),)))
+                for name in names]
+            collected: Dict[str, ScenarioResult] = {}
+            for name, handle in handles:
+                result = handle.get()
+                if result.name != name:
+                    raise AssertionError(
+                        f"worker answered for scenario {result.name!r} "
+                        f"in the {name!r} slot")
+                if name in collected:
+                    raise AssertionError(f"duplicate result for {name!r}")
+                collected[name] = result
+        lost = [name for name in names if name not in collected]
+        if lost:
+            raise AssertionError(f"worker results lost for {lost}")
+        results = [collected[name] for name in names]
     else:
         results = [_run_scenario(name, scale, seed, repeats)
                    for name in names]
@@ -614,19 +649,33 @@ def format_report(report: PerfReport) -> str:
     return "\n".join(lines)
 
 
-def check_digests(report: PerfReport, reference_path: str) -> List[str]:
+def check_digests(report: PerfReport, reference_path: str,
+                  expected_names: Optional[Sequence[str]] = None) -> List[str]:
     """Compare the report's digests against a committed report JSON.
 
     Returns a list of human-readable mismatch descriptions (empty when
     every scenario digest present in both reports agrees).  Wall times
     and rates are machine-dependent and deliberately not compared.
+
+    ``expected_names`` lists the scenarios the run was asked to produce
+    (defaults to every scenario in the reference): any of them present in
+    the reference but absent from the report is itself a mismatch.  A
+    dropped worker result must fail the check loudly, not shrink the
+    comparison set.
     """
     import json
 
     with open(reference_path) as fh:
         reference = json.load(fh)
+    if "scenarios" not in reference and "current" in reference:
+        # BENCH_datapath.json nests the authoritative report under
+        # ``current``; accept both that shape and a raw ``--json`` report.
+        reference = reference["current"]
     ref_digests = {s["name"]: s["digest"]
                    for s in reference.get("scenarios", [])}
+    if not ref_digests:
+        # An empty comparison set must never read as a pass.
+        return [f"{reference_path}: reference contains no scenario digests"]
     problems = []
     for result in report.scenarios:
         expected = ref_digests.get(result.name)
@@ -636,6 +685,14 @@ def check_digests(report: PerfReport, reference_path: str) -> List[str]:
             problems.append(
                 f"{result.name}: digest {result.digest[:16]}... != "
                 f"committed {expected[:16]}...")
+    ran = {result.name for result in report.scenarios}
+    if expected_names is None:
+        expected_names = list(ref_digests)
+    for name in expected_names:
+        if name in ref_digests and name not in ran:
+            problems.append(
+                f"{name}: missing from report (reference digest "
+                f"{ref_digests[name][:16]}...)")
     return problems
 
 
@@ -690,7 +747,8 @@ def main(argv: Optional[List[str]] = None) -> None:
             json.dump(report.to_json(), fh, indent=2)
             fh.write("\n")
     if args.check:
-        problems = check_digests(report, args.check)
+        problems = check_digests(report, args.check,
+                                 expected_names=args.only)
         if problems:
             for problem in problems:
                 print(f"DIGEST MISMATCH: {problem}")

@@ -88,6 +88,13 @@ class RaiznConfig:
     #: compute, metadata appends, and each device command.  Off by
     #: default; the disabled datapath pays one attribute test per site.
     tracing: bool = False
+    #: Poison recycled stripe-buffer arrays with 0xA5 on release (audit
+    #: mode for the pooled no-re-zeroing contract; see
+    #: :mod:`repro.raizn.stripebuf`).  Any accessor reading past a
+    #: buffer's ``fill_end`` then sees loud garbage instead of
+    #: coincidental zeroes.  Process-wide once enabled; also switched on
+    #: by the ``REPRO_POISON_POOLS`` environment variable.
+    poison_pools: bool = False
 
     def __post_init__(self) -> None:
         if self.num_parity != 1:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, Dict, List
 
+from ..block.bio import _FUA as _BIO_FUA
 from ..block.bio import Bio, BioFlags
 from ..block.device import BlockDevice
 from ..errors import MetadataError
@@ -30,6 +31,14 @@ class MetadataRole(enum.Enum):
 
     PARTIAL_PARITY = "partial_parity"
     GENERAL = "general"
+
+    # Identity hash: role-keyed dict lookups (locks, zone map, usage) sit
+    # on the append hot path and Enum's default ``__hash__`` is a Python-
+    # level call.  Identity is consistent with Enum equality (members are
+    # singletons), and no role is ever iterated out of a set — the only
+    # role collections are insertion-ordered dicts and literal tuples — so
+    # per-process id variation cannot reorder events.
+    __hash__ = object.__hash__  # type: ignore[assignment]
 
 
 #: ``checkpoint_provider(role, device_index)`` returns the live in-memory
@@ -152,16 +161,55 @@ class DeviceMetadataZones:
             self.sim.schedule(0.0, self._append_start, role, entry, fua, done)
         return done
 
+    def append_encoded_async(self, role: MetadataRole, encoded: bytes,
+                             fua: bool = False, batch: list = None) -> Event:
+        """:meth:`append_async` for a caller that already holds the encoded
+        bytes (the write path's partial-parity entries are produced by
+        :func:`repro.raizn.metadata.encode_partial_parity_bytes`).  The
+        hop structure is identical — encoding an entry is pure
+        computation, so moving it before hop 1 changes no event order."""
+        sim = self.sim
+        # ``sim.event()`` inlined: one call per metadata append.
+        free = sim._event_free
+        if free:
+            done = free.pop()
+            done.triggered = False
+            done.ok = True
+        else:
+            done = Event(sim)
+        tracer = self.device.tracer
+        if tracer is not None:
+            sites = self._tr_sites
+            rolename = role._value_
+            try:
+                site = sites[rolename]
+            except KeyError:
+                site = sites[rolename] = tracer.site("md", role,
+                                                     self.device.name)
+            done.add_callback(tracer.begin_at(site))
+        if batch is not None:
+            batch.append((self._append_start_encoded,
+                          (role, encoded, fua, done)))
+        else:
+            self.sim.schedule(0.0, self._append_start_encoded, role, encoded,
+                              fua, done)
+        return done
+
     def _append_start(self, role: MetadataRole, entry: MetadataEntry,
                       fua: bool, done: Event) -> None:
         try:
             encoded = entry.encode()
-            if len(encoded) > self.zone_capacity:
-                raise MetadataError(
-                    f"metadata entry of {len(encoded)} bytes exceeds the "
-                    f"metadata zone capacity {self.zone_capacity}")
         except MetadataError as exc:
             done.fail(exc)
+            return
+        self._append_start_encoded(role, encoded, fua, done)
+
+    def _append_start_encoded(self, role: MetadataRole, encoded: bytes,
+                              fua: bool, done: Event) -> None:
+        if len(encoded) > self.zone_capacity:
+            done.fail(MetadataError(
+                f"metadata entry of {len(encoded)} bytes exceeds the "
+                f"metadata zone capacity {self.zone_capacity}"))
             return
         lock = self._locks[role]
         if lock.in_use < lock.capacity:
@@ -171,8 +219,8 @@ class DeviceMetadataZones:
             # relative to interleaved same-tick work and shifts the fixed
             # seed digests — measured, not hypothetical.)
             lock.in_use += 1
-            self.sim.schedule(0.0, self._append_locked, role, encoded, fua,
-                              done)
+            self.sim._now_queue.append(
+                (self._append_locked, (role, encoded, fua, done)))
         else:
             waiter = Event(self.sim)
             waiter.add_callback(
@@ -182,7 +230,9 @@ class DeviceMetadataZones:
     def _append_locked(self, role: MetadataRole, encoded: bytes,
                        fua: bool, done: Event) -> None:
         lock = self._locks[role]
-        if self.used[self.role_zone[role]] + len(encoded) > self.zone_capacity:
+        nbytes = len(encoded)
+        zone_index = self.role_zone[role]
+        if self.used[zone_index] + nbytes > self.zone_capacity:
             # Rare slow path: zone rotation involves multi-step GC, so hand
             # off to generator code.  InlineProcess starts in this frame —
             # exactly where the process version would have kept running.
@@ -190,18 +240,17 @@ class DeviceMetadataZones:
                           self._append_rotating(role, encoded, fua, done))
             return
         try:
-            zone_index = self.role_zone[role]
-            self.used[zone_index] += len(encoded)
-            flags = BioFlags.FUA if fua else BioFlags.NONE
+            self.used[zone_index] += nbytes
             event = self.device.submit(
-                Bio.zone_append(zone_index * self.zone_size, encoded, flags))
+                Bio.fast_append(zone_index * self.zone_size, encoded,
+                                _BIO_FUA if fua else 0))
         except BaseException as exc:  # noqa: BLE001 - mirror process failure
             lock.release()
             done.fail(exc)
             return
         lock.release()
         event.add_callback(
-            lambda ev, n=len(encoded), d=done: self._append_done(ev, n, d))
+            lambda ev, n=nbytes, d=done: self._append_done(ev, n, d))
 
     def _append_rotating(self, role: MetadataRole, encoded: bytes,
                          fua: bool, done: Event):

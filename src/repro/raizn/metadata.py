@@ -242,6 +242,31 @@ def decode_zone_reset(entry: MetadataEntry) -> Tuple[int, int]:
 
 _PARTIAL_PARITY = struct.Struct("<QQ")
 
+#: Zero fill for the unused inline area of a partial-parity entry
+#: (16 inline bytes: parity offset + length).
+_PP_INLINE_PAD = bytes(SECTOR_SIZE - HEADER_BYTES - _PARTIAL_PARITY.size)
+
+
+def encode_partial_parity_bytes(start_lba: int, end_lba: int,
+                                generation: int, parity_offset: int,
+                                parity) -> bytes:
+    """On-disk bytes of a partial parity entry, skipping the entry object.
+
+    Byte-identical to ``encode_partial_parity(...).encode()`` — the write
+    path logs one of these per partial-stripe write, and the dataclass
+    round trip (allocation, ``__post_init__`` validation, generic pad
+    construction) showed up in datapath profiles.  ``parity`` may be any
+    readable buffer; ``join`` materializes it.
+    """
+    payload_len = len(parity)
+    header = _HEADER.pack(MAGIC, MetadataType.PARTIAL_PARITY, start_lba,
+                          end_lba, generation, payload_len)
+    pad = payload_len % SECTOR_SIZE
+    return b"".join((
+        header, _PARTIAL_PARITY.pack(parity_offset, payload_len),
+        _PP_INLINE_PAD, parity,
+        bytes(SECTOR_SIZE - pad) if pad else b""))
+
 
 def encode_partial_parity(start_lba: int, end_lba: int, generation: int,
                           parity_offset: int, parity: bytes,

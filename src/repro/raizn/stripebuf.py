@@ -9,6 +9,7 @@ occupied.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -26,6 +27,26 @@ from .parity import xor_into
 _free_arrays: Dict[int, List[bytearray]] = {}
 _FREE_ARRAYS_MAX = 64
 
+#: Pool poisoning (the audit mode for the no-re-zeroing contract above):
+#: when enabled, every array is filled with 0xA5 as it returns to the
+#: pool, so any accessor that reads past ``fill_end`` of a recycled
+#: buffer produces loud garbage instead of silently-zero bytes that
+#: happen to match the §5.1 zero-padding rule.  Enabled process-wide via
+#: the ``REPRO_POISON_POOLS`` environment variable or per-volume through
+#: ``RaiznConfig.poison_pools``.
+_POISON_BYTE = 0xA5
+_poison = os.environ.get("REPRO_POISON_POOLS", "") not in ("", "0")
+
+
+def enable_pool_poisoning(enabled: bool = True) -> None:
+    """Turn 0xA5 poisoning of recycled arrays on (or off) process-wide."""
+    global _poison
+    _poison = enabled
+
+
+def pool_poisoning_enabled() -> bool:
+    return _poison
+
 
 class StripeBuffer:
     """Data of one in-flight stripe, filled strictly left to right.
@@ -35,13 +56,17 @@ class StripeBuffer:
     zero-padding rule.
     """
 
-    __slots__ = ("zone", "stripe", "num_data", "su", "data", "fill_end")
+    __slots__ = ("zone", "stripe", "num_data", "su", "width_bytes", "data",
+                 "fill_end")
 
     def __init__(self, zone: int, stripe: int, num_data: int, su: int):
         self.zone = zone
         self.stripe = stripe
         self.num_data = num_data
         self.su = su
+        #: ``num_data * su`` as a plain attribute — the write path's fast
+        #: loop reads it per absorbed chunk.
+        self.width_bytes = num_data * su
         free = _free_arrays.get(num_data * su)
         self.data = free.pop() if free else bytearray(num_data * su)
         #: Bytes filled from the start of the stripe (writes are sequential).
@@ -49,14 +74,19 @@ class StripeBuffer:
 
     def recycle(self) -> None:
         """Return the backing array to the pool; the buffer dies here."""
-        free = _free_arrays.setdefault(len(self.data), [])
+        data = self.data
+        free = _free_arrays.setdefault(len(data), [])
         if len(free) < _FREE_ARRAYS_MAX:
-            free.append(self.data)
+            if _poison:
+                # Audit mode: fill the released array with 0xA5 so stale
+                # reads of the next owner are unmistakable.
+                data[:] = bytes([_POISON_BYTE]) * len(data)
+            free.append(data)
         self.data = b""
 
     @property
     def width(self) -> int:
-        return self.num_data * self.su
+        return self.width_bytes
 
     @property
     def full(self) -> bool:

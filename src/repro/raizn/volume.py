@@ -36,7 +36,9 @@ from ..errors import (
     ZoneStateError,
 )
 from ..sim import Event, Simulator
+from ..sim.engine import _run_batch
 from ..trace import Tracer
+from ..units import SECTOR_SIZE
 from ..trace.tracer import SITE_BITS
 from ..zns.device import ZNSDevice
 from ..zns.spec import ZoneInfo, ZoneState
@@ -49,18 +51,21 @@ from .metadata import (
     Superblock,
     encode_generation_block,
     encode_partial_parity,
+    encode_partial_parity_bytes,
     encode_relocated_su,
     encode_zone_reset,
 )
 from .parity import xor_into
 from .relocation import RelocationStore
-from .stripebuf import StripeBuffer
+from .stripebuf import StripeBuffer, enable_pool_poisoning
 from .zonedesc import LogicalZoneDesc, PhysicalZoneDesc
 
 #: Plain-int FUA mask: the write fan-out tests sub-IO flags per piece,
 #: and ``IntFlag.__and__`` costs a dynamic class lookup per call.
 _FUA = int(BioFlags.FUA)
+_SECTOR_MASK = SECTOR_SIZE - 1
 _PREFLUSH = int(BioFlags.PREFLUSH)
+_FUA_OR_PREFLUSH = _FUA | _PREFLUSH
 
 #: Upper bound on the per-volume write-plan cache.  Keys are
 #: ``(zone, offset-in-zone, length)``; steady-state workloads cycle
@@ -172,12 +177,12 @@ class _WriteJoin:
 
     def _fired(self) -> None:
         bio = self.bio
-        if bio.flags & (_FUA | _PREFLUSH):
+        if bio.flags & _FUA_OR_PREFLUSH:
             events = self.volume._flush_unpersisted(self.desc, bio,
                                                     self.fua_devices)
             self._flush_pending = len(events)
             if not events:
-                self.sim.schedule(0.0, self._queue_flushed)
+                self.sim._now_queue.append((self._queue_flushed, ()))
                 return
             callback = self._on_flush_child
             for event in events:
@@ -222,7 +227,8 @@ class _WriteJoin:
         # can extend it in the device cache — a set bit would then be
         # stale, the next FUA would skip flushing that device, and a crash
         # could lose acknowledged data.
-        desc.persistence.mark_up_to(desc.su_index_of(bio.end_offset))
+        desc.persistence.mark_up_to(
+            (bio.offset + bio.length - desc.start_lba) // desc.su)
         bio.complete_time = self.sim.now
         done = self.done
         self._release()
@@ -466,6 +472,11 @@ class RaiznVolume:
         self.sim = sim
         self.devices: List[Optional[ZNSDevice]] = list(devices)
         self.config = config
+        if config.poison_pools:
+            # Audit mode: recycled stripe-buffer arrays are filled with
+            # 0xA5 so stale reads past ``fill_end`` are unmistakable.
+            # Process-wide by design — the pool itself is process-wide.
+            enable_pool_poisoning()
         self.array_uuid = array_uuid
         self.num_data_zones = template.num_zones - config.num_metadata_zones
         if self.num_data_zones < 1:
@@ -663,8 +674,16 @@ class RaiznVolume:
 
     def submit(self, bio: Bio) -> Event:
         """Submit a logical bio; the event succeeds with the completed bio."""
-        bio.submit_time = self.sim.now
-        done = self.sim.event()
+        sim = self.sim
+        bio.submit_time = sim.now
+        # ``sim.event()`` inlined: one call per logical bio.
+        free = sim._event_free
+        if free:
+            done = free.pop()
+            done.triggered = False
+            done.ok = True
+        else:
+            done = Event(sim)
         tracer = self.tracer
         if tracer is not None:
             sites = self._tr_vol_sites
@@ -690,7 +709,23 @@ class RaiznVolume:
                 tracer.current_parent = -1
             return done
         try:
-            self._dispatch(bio, done)
+            # ``_dispatch``'s write branch inlined (the hot op, one frame
+            # per logical write).  Every gate condition is a pure read, so
+            # any miss falls through to ``_dispatch`` and raises exactly
+            # what it always raised, in the original check order.
+            op = bio.op
+            if (op is Op.WRITE or op is Op.ZONE_APPEND) \
+                    and not (bio.offset | bio.length) & _SECTOR_MASK \
+                    and not self.read_only and True not in self.failed:
+                zone = self.mapper.zone_of(bio.offset)
+                desc = self.zone_descs[zone]
+                if desc.reset_in_progress:
+                    self._reset_pending.setdefault(zone, []).append(
+                        (bio, done))
+                else:
+                    self._start_write(bio, done, zone, desc)
+            else:
+                self._dispatch(bio, done)
         except (RaiznError, DeviceError) as exc:
             self.sim.schedule(0.0, done.fail, exc)
         return done
@@ -706,7 +741,8 @@ class RaiznVolume:
         return done.value
 
     def _dispatch(self, bio: Bio, done: Event) -> None:
-        bio.check_alignment()
+        if (bio.offset | bio.length) & _SECTOR_MASK:
+            bio.check_alignment()
         op = bio.op
         if (op is Op.WRITE or op is Op.ZONE_APPEND or op is Op.READ) and \
                 self.failed.count(True) > self.config.num_parity:
@@ -721,7 +757,7 @@ class RaiznVolume:
             if desc.reset_in_progress:
                 self._reset_pending.setdefault(zone, []).append((bio, done))
                 return
-            self._start_write(bio, done)
+            self._start_write(bio, done, zone, desc)
         elif op is Op.READ:
             self._start_read(bio, done)
         elif op is Op.FLUSH:
@@ -936,11 +972,14 @@ class RaiznVolume:
 
     # ------------------------------------------------------------------ write path
 
-    def _start_write(self, bio: Bio, done: Event) -> None:
-        """Synchronous half of the write path: validate, absorb, fan out."""
-        zone = self.mapper.zone_of(bio.offset)
-        desc = self.zone_descs[zone]
-        if bio.op == Op.ZONE_APPEND:
+    def _start_write(self, bio: Bio, done: Event, zone: int,
+                     desc: LogicalZoneDesc) -> None:
+        """Synchronous half of the write path: validate, absorb, fan out.
+
+        ``zone``/``desc`` come from ``_dispatch``, which already resolved
+        (and range-checked) the logical zone for this bio.
+        """
+        if bio.op is Op.ZONE_APPEND:
             # §5.4: RAIZN serializes zone appends; emulate as a write at
             # the logical write pointer (as dm-level append emulation does).
             if bio.offset != desc.start_lba:
@@ -948,19 +987,29 @@ class RaiznVolume:
                     "zone append offset must be the zone start LBA")
             bio.offset = desc.write_pointer
             bio.result = bio.offset
-        if not desc.state.is_writable:
+        # Identity-check the two open states before falling back to the
+        # is_writable property: writability is tested once per logical
+        # write and the steady state is an open zone.
+        state = desc.state
+        if state is not ZoneState.IMPLICIT_OPEN \
+                and state is not ZoneState.EXPLICIT_OPEN \
+                and not state.is_writable:
             raise ZoneStateError(
-                f"logical zone {zone} not writable (state={desc.state.value})")
+                f"logical zone {zone} not writable (state={state.value})")
         if bio.offset != desc.write_pointer:
             raise WritePointerViolation(
                 f"logical write at {bio.offset:#x} != zone {zone} write "
                 f"pointer {desc.write_pointer:#x}")
-        if bio.end_offset > desc.writable_end:
+        end_offset = bio.offset + bio.length
+        writable_end = desc.writable_end
+        if end_offset > writable_end:
             raise InvalidAddressError("write past logical zone capacity")
-        self._open_logical_zone(desc)
-        desc.write_pointer = bio.end_offset
+        if state is not ZoneState.IMPLICIT_OPEN \
+                and state is not ZoneState.EXPLICIT_OPEN:
+            self._open_logical_zone(desc)
+        desc.write_pointer = end_offset
         desc.last_write_time = self.sim.now
-        if desc.write_pointer == desc.writable_end:
+        if end_offset == writable_end:
             self._set_logical_state(desc, ZoneState.FULL)
 
         # Pure geometry of this write — stripe segmentation, per-device
@@ -976,19 +1025,44 @@ class RaiznVolume:
         stripe0 = in_zone // width
         key = ((stripe0 + zone) % self._num_rotations,
                in_zone - stripe0 * width, bio.length)
-        plan = self._plan_cache.get(key)
-        if plan is None:
+        cached = self._plan_cache.get(key)
+        if cached is None:
             if len(self._plan_cache) >= _PLAN_CACHE_MAX:
                 self._plan_cache.clear()
-            plan = self._plan_cache[key] = self._build_write_plan(
-                desc, bio.offset, bio.length)
+            plan = self._build_write_plan(desc, bio.offset, bio.length)
+            # Pre-flatten the dominant small-write shape (one segment,
+            # one device piece, stripe not completed): the fast path
+            # below then does a single tuple unpack per write instead of
+            # re-deriving the nested indices every time.
+            if len(plan) == 1 and len(plan[0][4]) == 1 and not plan[0][5]:
+                seg = plan[0]
+                piece = seg[4][0]
+                fast = (piece[0], piece[1], piece[2], seg[1], seg[6],
+                        seg[8], seg[1] % self.config.stripe_unit_bytes)
+            else:
+                fast = None
+            cached = self._plan_cache[key] = (plan, fast)
+        plan, fast = cached
         pba_base = zone * self.phys_zone_size + \
             stripe0 * self.config.stripe_unit_bytes
         lba_base = desc.start_lba + stripe0 * width
 
         free = self._join_free
-        join = free.pop() if free else _WriteJoin(self)
-        join._reset(bio, done, desc)
+        if free:
+            join = free.pop()
+            # ``_reset`` inlined; ``fua_devices`` is cleared by ``_release``
+            # on the pooled path, so only the scalar slots need setting.
+            join.bio = bio
+            join.done = done
+            join.desc = desc
+            join._count = 0
+            join._armed = False
+            join._failed = False
+            join._flush_pending = 0
+            join._flush_failed = False
+        else:
+            join = _WriteJoin(self)
+            join._reset(bio, done, desc)
         # Plain int (0 or FUA): tested per fan-out piece below, and Bio
         # stores flags as an int anyway.
         sub_flags = bio.flags & _FUA
@@ -1006,41 +1080,228 @@ class RaiznVolume:
         batch: List[tuple] = []
         try:
             row = self._tr_stripe_row
-            for (dstripe, in_stripe, seg_lo, seg_hi, pieces, completes,
-                 parity_device, rel_ppba, rel_slba) in plan:
-                stripe = stripe0 + dstripe
-                chunk = data[seg_lo:seg_hi]
-                buffer = desc.buffers.acquire(stripe)
-                if buffer is None:
-                    raise RaiznError(
-                        f"zone {zone}: all "
-                        f"{self.config.stripe_buffers_per_zone} "
-                        "stripe buffers occupied (should not happen: writes "
-                        "are sequential, so only the tail stripe is ever "
-                        "incomplete)")
-                buffer.absorb(in_stripe, chunk)
-                if row is not None:
-                    row[0] += 1
-                    row[2] += seg_hi - seg_lo
-                for device, rel_pba, rel_lba, piece_lo, piece_hi in pieces:
-                    self._emit_data_piece(join, desc, device,
-                                          pba_base + rel_pba,
-                                          lba_base + rel_lba,
-                                          data[piece_lo:piece_hi], sub_flags,
-                                          cmds, batch)
-                if completes:
-                    self._emit_full_parity(join, desc, stripe, parity_device,
-                                           pba_base + rel_ppba,
-                                           lba_base + rel_slba, buffer,
-                                           in_stripe, chunk, sub_flags,
-                                           cmds, batch)
-                    desc.buffers.release(stripe)
-                else:
-                    self._emit_partial_parity(join, desc, stripe,
-                                              parity_device,
-                                              lba_base + rel_slba,
-                                              in_stripe, chunk,
-                                              bool(sub_flags), batch)
+            # Healthy-array fast loop: with every device present, no
+            # rebuild under way and no relocations armed in this zone,
+            # the per-piece availability and relocation-map checks in
+            # ``_emit_data_piece`` can never redirect — only the write-
+            # pointer conflict check stays (it is semantic, §5.2).  The
+            # emitted commands, their order, and the join bookkeeping are
+            # exactly those of the general path; pieces that DO conflict
+            # fall back to ``_emit_data_piece`` for the redirect flow.
+            if row is None and self.rebuild_state is None \
+                    and not desc.has_relocations \
+                    and True not in self.failed \
+                    and None not in self.devices:
+                sim = self.sim
+                devices = self.devices
+                phys = self.phys
+                buffers = desc.buffers
+                free_events = sim._event_free
+                write_attempted = self._write_attempted
+                fast_write = Bio.fast_write
+                read_only = ZoneState.READ_ONLY
+                offline = ZoneState.OFFLINE
+                if fast is not None:
+                    # Straight-line emission for the dominant small-write
+                    # shape: one stripe segment, one device piece, stripe
+                    # not completed (partial parity).  Same operations in
+                    # the same order as one iteration of the loop below,
+                    # minus the per-segment slicing and list plumbing; a
+                    # write-pointer conflict bails to the general loop
+                    # before any state is touched.
+                    (device, rel_pba, rel_lba, f_in_stripe, parity_dev,
+                     rel_slba, in_su) = fast
+                    pba = pba_base + rel_pba
+                    pdesc = phys[device][zone]
+                    state = pdesc.state
+                    if pdesc.write_pointer == pba and state is not read_only \
+                            and state is not offline:
+                        in_stripe = f_in_stripe
+                        # ``StripeBufferPool.acquire`` inlined for the hit
+                        # (the steady state: the tail stripe's buffer is
+                        # live); misses allocate through the method.
+                        buffer = buffers._buffers.get(stripe0)
+                        if buffer is None:
+                            buffer = buffers.acquire(stripe0)
+                        if buffer is None:
+                            raise RaiznError(
+                                f"zone {zone}: all "
+                                f"{self.config.stripe_buffers_per_zone} "
+                                "stripe buffers occupied (should not happen: "
+                                "writes are sequential, so only the tail "
+                                "stripe is ever incomplete)")
+                        payload = bio.data
+                        fill = in_stripe + bio.length
+                        if buffer.fill_end == in_stripe and \
+                                fill <= buffer.width_bytes:
+                            buffer.data[in_stripe:fill] = payload
+                            buffer.fill_end = fill
+                        else:
+                            buffer.absorb(in_stripe, payload)
+                        pdesc.write_pointer = pba + bio.length
+                        wbio = fast_write(pba, payload, sub_flags)
+                        wbio.errors_as_status = True
+                        wbio.wctx = (join, device, desc, lba_base + rel_lba,
+                                     0)
+                        if free_events:
+                            event = free_events.pop()
+                            event.triggered = False
+                            event.ok = True
+                        else:
+                            event = Event(sim)
+                        event.callback = write_attempted
+                        join._count += 1
+                        if sub_flags:
+                            join.fua_devices.add(device)
+                        try:
+                            mdz = self.mdzones[parity_dev]
+                            if mdz.device.tracer is None:
+                                # ``_emit_partial_parity`` inlined for the
+                                # untraced healthy case.  The single piece
+                                # sits inside one stripe unit by
+                                # construction, so its delta is the payload
+                                # itself (``delta_parity``'s fast path) and
+                                # its SU-relative offset came precomputed
+                                # with the plan.
+                                row = self._tr_parity_partial_row
+                                if row is not None:
+                                    row[0] += 1
+                                    row[2] += bio.length
+                                stripe_lba = lba_base + rel_slba + in_stripe
+                                encoded = encode_partial_parity_bytes(
+                                    stripe_lba, stripe_lba + bio.length,
+                                    self.generation[desc.zone], in_su,
+                                    payload)
+                                if free_events:
+                                    pp_done = free_events.pop()
+                                    pp_done.triggered = False
+                                    pp_done.ok = True
+                                else:
+                                    pp_done = Event(sim)
+                                pp_done.callback = join._on_child
+                                batch.append((mdz._append_start_encoded,
+                                              (MetadataRole.PARTIAL_PARITY,
+                                               encoded, bool(sub_flags),
+                                               pp_done)))
+                                join._count += 1
+                            else:
+                                self._emit_partial_parity(
+                                    join, desc, stripe0, parity_dev,
+                                    lba_base + rel_slba, in_stripe, payload,
+                                    bool(sub_flags), batch)
+                        except BaseException:
+                            # Mirror ``submit_many`` on the shared except
+                            # path below: the built command still goes out
+                            # (the outer handler schedules ``batch``).
+                            devices[device].submit(wbio, event)
+                            raise
+                        stats = self.stats
+                        stats.writes += 1
+                        stats.bytes_written += bio.length
+                        stats.media_bytes_written += bio.length
+                        devices[device].submit(wbio, event)
+                        batch.append((join._arm, ()))
+                        sim._now_queue.append((_run_batch, (batch,)))
+                        return
+                for (dstripe, in_stripe, seg_lo, seg_hi, pieces, completes,
+                     parity_device, rel_ppba, rel_slba) in plan:
+                    stripe = stripe0 + dstripe
+                    chunk = data[seg_lo:seg_hi]
+                    buffer = buffers.acquire(stripe)
+                    if buffer is None:
+                        raise RaiznError(
+                            f"zone {zone}: all "
+                            f"{self.config.stripe_buffers_per_zone} "
+                            "stripe buffers occupied (should not happen: "
+                            "writes are sequential, so only the tail stripe "
+                            "is ever incomplete)")
+                    # ``absorb`` inlined (sequential-fill invariant holds
+                    # by construction here; misses take the checked path).
+                    fill = in_stripe + seg_hi - seg_lo
+                    if buffer.fill_end == in_stripe and \
+                            fill <= buffer.width_bytes:
+                        buffer.data[in_stripe:fill] = chunk
+                        buffer.fill_end = fill
+                    else:
+                        buffer.absorb(in_stripe, chunk)
+                    for device, rel_pba, rel_lba, piece_lo, piece_hi in pieces:
+                        pba = pba_base + rel_pba
+                        pdesc = phys[device][zone]
+                        state = pdesc.state
+                        if pdesc.write_pointer != pba or state is read_only \
+                                or state is offline:
+                            self._emit_data_piece(join, desc, device, pba,
+                                                  lba_base + rel_lba,
+                                                  data[piece_lo:piece_hi],
+                                                  sub_flags, cmds, batch)
+                            continue
+                        pdesc.write_pointer = pba + piece_hi - piece_lo
+                        wbio = fast_write(pba, data[piece_lo:piece_hi],
+                                          sub_flags)
+                        wbio.errors_as_status = True
+                        wbio.wctx = (join, device, desc, lba_base + rel_lba, 0)
+                        if free_events:
+                            event = free_events.pop()
+                            event.triggered = False
+                            event.ok = True
+                        else:
+                            event = Event(sim)
+                        event.callback = write_attempted
+                        join._count += 1
+                        cmds.append((devices[device], wbio, event))
+                        if sub_flags:
+                            join.fua_devices.add(device)
+                    if completes:
+                        self._emit_full_parity(join, desc, stripe,
+                                               parity_device,
+                                               pba_base + rel_ppba,
+                                               lba_base + rel_slba, buffer,
+                                               in_stripe, chunk, sub_flags,
+                                               cmds, batch)
+                        buffers.release(stripe)
+                    else:
+                        self._emit_partial_parity(join, desc, stripe,
+                                                  parity_device,
+                                                  lba_base + rel_slba,
+                                                  in_stripe, chunk,
+                                                  bool(sub_flags), batch)
+            else:
+                for (dstripe, in_stripe, seg_lo, seg_hi, pieces, completes,
+                     parity_device, rel_ppba, rel_slba) in plan:
+                    stripe = stripe0 + dstripe
+                    chunk = data[seg_lo:seg_hi]
+                    buffer = desc.buffers.acquire(stripe)
+                    if buffer is None:
+                        raise RaiznError(
+                            f"zone {zone}: all "
+                            f"{self.config.stripe_buffers_per_zone} "
+                            "stripe buffers occupied (should not happen: "
+                            "writes are sequential, so only the tail stripe "
+                            "is ever incomplete)")
+                    buffer.absorb(in_stripe, chunk)
+                    if row is not None:
+                        row[0] += 1
+                        row[2] += seg_hi - seg_lo
+                    for device, rel_pba, rel_lba, piece_lo, piece_hi in pieces:
+                        self._emit_data_piece(join, desc, device,
+                                              pba_base + rel_pba,
+                                              lba_base + rel_lba,
+                                              data[piece_lo:piece_hi],
+                                              sub_flags, cmds, batch)
+                    if completes:
+                        self._emit_full_parity(join, desc, stripe,
+                                               parity_device,
+                                               pba_base + rel_ppba,
+                                               lba_base + rel_slba, buffer,
+                                               in_stripe, chunk, sub_flags,
+                                               cmds, batch)
+                        desc.buffers.release(stripe)
+                    else:
+                        self._emit_partial_parity(join, desc, stripe,
+                                                  parity_device,
+                                                  lba_base + rel_slba,
+                                                  in_stripe, chunk,
+                                                  bool(sub_flags), batch)
         except BaseException:
             # Mirror the pre-batch failure shape: everything emitted before
             # the raise was already submitted/scheduled, and the join is
@@ -1050,12 +1311,19 @@ class RaiznVolume:
                 self.sim.schedule_batch(0.0, batch)
             raise
 
-        self.stats.account(bio)
-        submit_many(cmds)
+        # ``DeviceStats.account`` inlined for the only two ops that reach
+        # this function.
+        stats = self.stats
+        stats.writes += 1
+        stats.bytes_written += bio.length
+        stats.media_bytes_written += bio.length
+        # ``submit_many`` unrolled: same strict batch order, no result list.
+        for cmd_device, cmd_bio, cmd_done in cmds:
+            cmd_device.submit(cmd_bio, cmd_done)
         # The arm call runs after every sibling append's start hop, in the
         # now-queue slot the old completion-chain hop occupied.
         batch.append((join._arm, ()))
-        self.sim.schedule_batch(0.0, batch)
+        self.sim._now_queue.append((_run_batch, (batch,)))
 
     def _build_write_plan(self, desc: LogicalZoneDesc, offset: int,
                           length: int) -> tuple:
@@ -1217,7 +1485,11 @@ class RaiznVolume:
             if self._failslow_on:
                 self._note_latency(device, False,
                                    self.sim.now - bio.submit_time)
-            join._child_ok()
+            # ``join._child_ok`` inlined (the all-healthy hot path).
+            if not join._failed:
+                join._count = count = join._count - 1
+                if count == 0 and join._armed:
+                    self.sim._now_queue.append((join._fired, ()))
             return
         if isinstance(exc, (TransientCommandError, WritePointerViolation)):
             # A WritePointerViolation here is collateral of a transient
@@ -1332,19 +1604,23 @@ class RaiznVolume:
                              stripe: int, device: int, stripe_lba: int,
                              in_stripe: int, chunk, fua: bool,
                              batch: List[tuple]) -> None:
-        if not self._device_available(device, desc.zone):
-            return
+        # Healthy-array short circuit; _device_available decides the
+        # degraded/rebuilding cases.
+        if self.failed[device] or self.devices[device] is None \
+                or self.rebuild_state is not None:
+            if not self._device_available(device, desc.zone):
+                return
         offset, delta = StripeBuffer.delta_parity(
             in_stripe, chunk, self.config.stripe_unit_bytes)
         row = self._tr_parity_partial_row
         if row is not None:
             row[0] += 1
             row[2] += len(delta)
-        entry = encode_partial_parity(
+        encoded = encode_partial_parity_bytes(
             stripe_lba + in_stripe, stripe_lba + in_stripe + len(chunk),
             self.generation[desc.zone], offset, delta)
-        done = self.mdzones[device].append_async(
-            MetadataRole.PARTIAL_PARITY, entry, fua=fua, batch=batch)
+        done = self.mdzones[device].append_encoded_async(
+            MetadataRole.PARTIAL_PARITY, encoded, fua=fua, batch=batch)
         done.add_callback(join._on_child)
         join._count += 1
 
@@ -1357,16 +1633,27 @@ class RaiznVolume:
         checking, because a set bit implies all earlier SUs on all
         devices are persisted.
         """
+        num_data = self.config.num_data
         write_su = desc.su_index_of(bio.offset)
-        prev_stripe_su = max(0, (write_su // self.config.num_data - 1)
-                             * self.config.num_data)
-        check_from = max(desc.persistence.frontier, prev_stripe_su)
-        devices_to_flush: Set[int] = set()
+        prev_stripe_su = (write_su // num_data - 1) * num_data
+        if prev_stripe_su < 0:
+            prev_stripe_su = 0
+        check_from = desc.persistence.frontier
+        if prev_stripe_su > check_from:
+            check_from = prev_stripe_su
+        # The steady state has nothing to flush (everything below the
+        # write went out FUA); defer the set until a device qualifies.
+        devices_to_flush: Optional[Set[int]] = None
         for su_index in desc.persistence.unpersisted_in(check_from, write_su):
             device = self._su_device(desc.zone, su_index)
             if device not in fua_devices and \
                     self._device_available(device, desc.zone):
-                devices_to_flush.add(device)
+                if devices_to_flush is None:
+                    devices_to_flush = {device}
+                else:
+                    devices_to_flush.add(device)
+        if devices_to_flush is None:
+            return []
         return [self.devices[d].submit(Bio.flush())
                 for d in devices_to_flush]
 

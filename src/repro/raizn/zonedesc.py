@@ -36,18 +36,33 @@ class PersistenceBitmap:
 
     def mark_up_to(self, su_end: int) -> None:
         """Mark SUs [0, su_end) persisted."""
-        for index in range(self.frontier, min(su_end, len(self.bits))):
-            self.bits[index] = True
-        while self.frontier < len(self.bits) and self.bits[self.frontier]:
-            self.frontier += 1
+        bits = self.bits
+        n = len(bits)
+        if su_end > n:
+            su_end = n
+        frontier = self.frontier
+        if su_end <= frontier:
+            # Steady-state FUA traffic: the frontier already covers the
+            # write; nothing to mark and nothing to rescan.
+            return
+        for index in range(frontier, su_end):
+            bits[index] = True
+        while frontier < n and bits[frontier]:
+            frontier += 1
+        self.frontier = frontier
 
     def is_persisted(self, su_index: int) -> bool:
         return su_index < self.frontier or self.bits[su_index]
 
     def unpersisted_in(self, su_start: int, su_end: int) -> List[int]:
         """SU indices in [su_start, su_end) that are not persisted."""
-        lo = max(su_start, self.frontier)
-        return [i for i in range(lo, su_end) if not self.bits[i]]
+        lo = self.frontier
+        if su_start > lo:
+            lo = su_start
+        if lo >= su_end:
+            return []
+        bits = self.bits
+        return [i for i in range(lo, su_end) if not bits[i]]
 
     def reset(self) -> None:
         self.bits = [False] * len(self.bits)

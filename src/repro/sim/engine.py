@@ -62,7 +62,8 @@ class Event:
     Processes wait on events by yielding them.
     """
 
-    __slots__ = ("sim", "callback", "callbacks", "triggered", "ok", "value")
+    __slots__ = ("sim", "callback", "callbacks", "triggered", "ok", "value",
+                 "refs")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -75,6 +76,12 @@ class Event:
         self.triggered = False
         self.ok = True
         self.value: Any = None
+        #: External references that would dangle if the event were pooled:
+        #: a pending timeout-heap ``_fire`` entry, or registration in a
+        #: combinator's child list.  Incremented at the referencing site,
+        #: decremented when the reference is consumed; ``recycle`` refuses
+        #: any event whose count is nonzero.
+        self.refs = 0
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully, delivering ``value`` to waiters."""
@@ -147,9 +154,11 @@ class Timeout(Event):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(sim)
+        self.refs = 1  # the scheduled ``_fire`` below
         sim.schedule(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
+        self.refs -= 1
         self.succeed(value)
 
 
@@ -252,10 +261,12 @@ class AllOf(Event):
             sim.schedule(0.0, self.succeed, [])
             return
         for index, event in enumerate(events):
+            event.refs += 1
             event.add_callback(self._make_child_callback(index))
 
     def _make_child_callback(self, index: int) -> Callable[[Event], None]:
         def on_child(event: Event) -> None:
+            event.refs -= 1
             if self._failed:
                 return
             if not event.ok:
@@ -290,9 +301,11 @@ class Gather(Event):
             return
         callback = self._on_child
         for event in events:
+            event.refs += 1
             event.add_callback(callback)
 
     def _on_child(self, event: Event) -> None:
+        event.refs -= 1
         if self.triggered:
             return  # a sibling already failed this gather
         if not event.ok:
@@ -319,9 +332,13 @@ class AnyOf(Event):
         # from the losers by identity.
         self._callback = self._on_child
         for event in events:
+            event.refs += 1
             event.add_callback(self._callback)
 
     def _on_child(self, event: Event) -> None:
+        # This child's registration is consumed whether it is the winner
+        # or a loser whose callback was already queued in the same batch.
+        event.refs -= 1
         if self._done:
             # A child that triggered in the same dispatch batch as the
             # winner: nothing to do and nothing to allocate.
@@ -343,11 +360,14 @@ class AnyOf(Event):
                         child.callbacks = None
                 else:
                     child.callback = None
+                child.refs -= 1
             elif child.callbacks is not None:
                 try:
                     child.callbacks.remove(callback)
                 except ValueError:
-                    pass
+                    pass  # already consumed; its pending dispatch decrements
+                else:
+                    child.refs -= 1
         self._children = []
         if event.ok:
             self.succeed(event.value)
@@ -430,6 +450,7 @@ class Simulator:
             timeout = free.pop()
             timeout.triggered = False
             timeout.ok = True
+            timeout.refs = 1  # the ``_fire`` scheduled below
             self.schedule(delay, timeout._fire, value)
             return timeout
         return Timeout(self, delay, value)
@@ -448,6 +469,13 @@ class Simulator:
                 or event.callbacks:
             raise SimulationError(
                 f"recycle() requires a fired, drained event, got {event!r}")
+        if event.refs:
+            # A pooled-and-reissued event with a live outside reference is
+            # a use-after-free: the pending timeout-heap ``_fire`` or
+            # combinator child registration would act on the *next* owner.
+            raise SimulationError(
+                f"recycle() of {event!r} still referenced {event.refs}x "
+                "from the timeout heap or a combinator child list")
         event.value = None
         cls = type(event)
         if cls is Event:
@@ -485,14 +513,28 @@ class Simulator:
         nowq = self._now_queue
         heap = self._heap
         pop = heapq.heappop
+        popleft = nowq.popleft
+        if until is None:
+            # Unbounded run (the common case): no deadline test per pop.
+            while True:
+                # Drain everything due *now* before letting the clock move.
+                while nowq:
+                    fn, args = popleft()
+                    fn(*args)
+                if not heap:
+                    return
+                at, _seq, fn, args = pop(heap)
+                if at < self.now - 1e-12:
+                    raise SimulationError("event heap went backwards in time")
+                self.now = at
+                fn(*args)
         while True:
-            # Drain everything due *now* before letting the clock move.
             while nowq:
-                fn, args = nowq.popleft()
+                fn, args = popleft()
                 fn(*args)
             if not heap:
                 break
-            if until is not None and heap[0][0] > until:
+            if heap[0][0] > until:
                 self.now = until
                 return
             at, _seq, fn, args = pop(heap)
@@ -500,7 +542,7 @@ class Simulator:
                 raise SimulationError("event heap went backwards in time")
             self.now = at
             fn(*args)
-        if until is not None and until > self.now:
+        if until > self.now:
             self.now = until
 
     def run_process(self, gen: ProcessGenerator) -> Any:

@@ -42,22 +42,30 @@ class LatencyStats:
             self._sorted = True
 
     def _interpolate(self, pct: float) -> float:
-        """Shared linear interpolation over the (sorted) sample list.
+        """Shared linear interpolation over the sample list.
 
         The single code path both :meth:`percentile` and
-        :meth:`percentiles` resolve through — small sample counts (1 or
-        2) must produce the same answer from either entry point, so the
-        edge-case handling lives here and nowhere else.
+        :meth:`percentiles` resolve through — every edge case (empty
+        window, single sample, pct 0/100, out-of-range pct) is handled
+        here and nowhere else, so the scalar and batch entry points can
+        never disagree.
         """
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
         samples = self._samples
+        if not samples:
+            raise ValueError("no latency samples recorded")
         if len(samples) == 1:
+            # A one-sample window has a degenerate distribution: every
+            # percentile, including 0 and 100, is that sample.
             return samples[0]
+        self._ensure_sorted()
         rank = (pct / 100.0) * (len(samples) - 1)
         low = math.floor(rank)
         high = math.ceil(rank)
         if low == high:
+            # Exact rank — covers pct == 0 (the minimum) and pct == 100
+            # (the maximum) without interpolation error.
             return samples[low]
         frac = rank - low
         # a + (b-a)*frac is monotone in frac under IEEE rounding, unlike
@@ -66,9 +74,6 @@ class LatencyStats:
 
     def percentile(self, pct: float) -> float:
         """Linear-interpolated percentile, ``pct`` in [0, 100]."""
-        if not self._samples:
-            raise ValueError("no latency samples recorded")
-        self._ensure_sorted()
         return self._interpolate(pct)
 
     @property
@@ -106,11 +111,13 @@ class LatencyStats:
         percentile, over a single sort of the sample list.
 
         Harnesses that want several tail points should call this instead
-        of re-sorting a copy per percentile.
+        of re-sorting a copy per percentile.  An empty window raises the
+        same ``ValueError`` as :meth:`percentile` — unless ``ps`` itself
+        is empty, in which case there is nothing to resolve and the
+        result is an empty dict.
         """
-        if not self._samples:
+        if not self._samples and ps:
             raise ValueError("no latency samples recorded")
-        self._ensure_sorted()
         return {pct: self._interpolate(pct) for pct in ps}
 
     def histogram(self, num_buckets: int = 16) -> List[Tuple[float, int]]:

@@ -27,6 +27,8 @@ from ..errors import (
     WritePointerViolation,
     ZoneStateError,
 )
+from ..block.bio import _FUA as _BIO_FUA
+from ..block.bio import _PREFLUSH as _BIO_PREFLUSH
 from ..block.bio import Bio, Op
 from ..block.device import BlockDevice
 from ..block.timing import ServiceTimeModel, zns_zn540_model
@@ -195,10 +197,57 @@ class ZNSDevice(BlockDevice):
         # per command, and a per-call dispatch dict showed up in profiles.
         op = bio.op
         if op is Op.WRITE:
+            # ``_apply_write``'s healthy fast path inlined: this dispatch
+            # plus the write run once per data command, and the extra
+            # frame showed up in profiles.  Any miss (preflush flag,
+            # state, pointer, capacity) takes the full method below.
+            if not bio.flags & _BIO_PREFLUSH:
+                offset = bio.offset
+                index = offset // self.zone_size
+                zones = self.zones
+                if 0 <= index < len(zones):
+                    zone = zones[index]
+                    state = zone.state
+                    if ((state is ZoneState.IMPLICIT_OPEN
+                         or state is ZoneState.EXPLICIT_OPEN)
+                            and offset == zone.write_pointer):
+                        end = offset + bio.length
+                        cap_end = zone.start + zone.capacity
+                        if end <= cap_end:
+                            self._media[offset:end] = bio.data
+                            zone.write_pointer = end
+                            zone.last_write_time = self.sim.now
+                            self._dirty_zones.add(index)
+                            if end == cap_end:
+                                self._note_full(zone)
+                            return 0.0
             return self._apply_write(bio)
         if op is Op.READ:
             return self._apply_read(bio)
         if op is Op.ZONE_APPEND:
+            # Mirror of the WRITE fast path for appends.
+            offset = bio.offset
+            if not offset % self.zone_size and \
+                    not bio.flags & _BIO_PREFLUSH:
+                index = offset // self.zone_size
+                zones = self.zones
+                if 0 <= index < len(zones):
+                    zone = zones[index]
+                    state = zone.state
+                    if (state is ZoneState.IMPLICIT_OPEN
+                            or state is ZoneState.EXPLICIT_OPEN):
+                        placed_at = zone.write_pointer
+                        end = placed_at + bio.length
+                        cap_end = zone.start + zone.capacity
+                        if end <= cap_end:
+                            self._media[placed_at:end] = bio.data
+                            zone.write_pointer = end
+                            zone.last_write_time = self.sim.now
+                            self._dirty_zones.add(index)
+                            if end == cap_end:
+                                self._note_full(zone)
+                            bio.result = placed_at
+                            return 0.0
             return self._apply_append(bio)
         if op is Op.FLUSH:
             return self._apply_flush(bio)
@@ -257,8 +306,31 @@ class ZNSDevice(BlockDevice):
         return zone
 
     def _apply_write(self, bio: Bio) -> float:
-        if bio.is_preflush:
+        if bio.flags & _BIO_PREFLUSH:
             self._snapshot_flush(bio)
+        # Healthy fast path: an already-open zone written exactly at its
+        # write pointer within capacity needs no state-machine work.  Any
+        # miss falls through to the original validation so error messages
+        # and transition order are unchanged.
+        offset = bio.offset
+        index = offset // self.zone_size
+        zones = self.zones
+        if 0 <= index < len(zones):
+            zone = zones[index]
+            state = zone.state
+            if ((state is ZoneState.IMPLICIT_OPEN
+                 or state is ZoneState.EXPLICIT_OPEN)
+                    and offset == zone.write_pointer):
+                end = offset + bio.length
+                cap_end = zone.start + zone.capacity
+                if end <= cap_end:
+                    self._media[offset:end] = bio.data
+                    zone.write_pointer = end
+                    zone.last_write_time = self.sim.now
+                    self._dirty_zones.add(index)
+                    if end == cap_end:
+                        self._note_full(zone)
+                    return 0.0
         zone = self._check_write(bio)
         self._make_open(zone, explicit=False)
         assert bio.data is not None
@@ -270,13 +342,35 @@ class ZNSDevice(BlockDevice):
         return 0.0
 
     def _apply_append(self, bio: Bio) -> float:
-        if bio.offset % self.zone_size:
+        offset = bio.offset
+        if offset % self.zone_size:
             raise InvalidAddressError(
-                f"{self.name}: zone append offset {bio.offset:#x} is not "
+                f"{self.name}: zone append offset {offset:#x} is not "
                 "a zone start")
-        if bio.is_preflush:
+        if bio.flags & _BIO_PREFLUSH:
             self._snapshot_flush(bio)
-        zone = self.zone_at(bio.offset)
+        # Healthy fast path, mirroring _apply_write: append into an
+        # already-open zone with room left skips the state machine.
+        index = offset // self.zone_size
+        zones = self.zones
+        if 0 <= index < len(zones):
+            zone = zones[index]
+            state = zone.state
+            if (state is ZoneState.IMPLICIT_OPEN
+                    or state is ZoneState.EXPLICIT_OPEN):
+                placed_at = zone.write_pointer
+                end = placed_at + bio.length
+                cap_end = zone.start + zone.capacity
+                if end <= cap_end:
+                    self._media[placed_at:end] = bio.data
+                    zone.write_pointer = end
+                    zone.last_write_time = self.sim.now
+                    self._dirty_zones.add(index)
+                    if end == cap_end:
+                        self._note_full(zone)
+                    bio.result = placed_at
+                    return 0.0
+        zone = self.zone_at(offset)
         if not zone.state.is_writable:
             raise ZoneStateError(
                 f"{self.name}: zone {zone.index} not writable "
@@ -392,18 +486,22 @@ class ZNSDevice(BlockDevice):
 
     def _persist(self, bio: Bio) -> None:
         if bio.aux is not None:  # flush or preflush snapshot
+            zones = self.zones
+            discard = self._dirty_zones.discard
             for index, wp in bio.aux.items():
-                zone = self.zones[index]
-                zone.durable_pointer = max(zone.durable_pointer,
-                                           min(wp, zone.write_pointer))
+                zone = zones[index]
+                dp = wp if wp < zone.write_pointer else zone.write_pointer
+                if dp > zone.durable_pointer:
+                    zone.durable_pointer = dp
                 if zone.durable_pointer >= zone.write_pointer:
-                    self._dirty_zones.discard(index)
-        if (bio.op is Op.WRITE or bio.op is Op.ZONE_APPEND) and bio.is_fua:
-            zone = self.zone_at(bio.offset)
+                    discard(index)
+        if bio.flags & _BIO_FUA and \
+                (bio.op is Op.WRITE or bio.op is Op.ZONE_APPEND):
+            zone = self.zones[bio.offset // self.zone_size]
             # ZNS persistence is prefix-ordered within a zone: a durable
             # write implies everything before it in the zone is durable.
             if bio.op is Op.WRITE:
-                end = bio.end_offset
+                end = bio.offset + bio.length
             else:
                 # A FUA append's durable end is derived from the placement
                 # address; a missing result must fail loudly — falling back
@@ -413,9 +511,11 @@ class ZNSDevice(BlockDevice):
                     f"{self.name}: FUA zone append completed without a "
                     "placement result")
                 end = bio.result + bio.length
-            zone.durable_pointer = max(zone.durable_pointer,
-                                       min(end, zone.write_pointer))
-            if zone.durable_pointer >= zone.write_pointer:
+            wp = zone.write_pointer
+            dp = end if end < wp else wp
+            if dp > zone.durable_pointer:
+                zone.durable_pointer = dp
+            if zone.durable_pointer >= wp:
                 self._dirty_zones.discard(zone.index)
 
     # -- fault injection ----------------------------------------------------------------

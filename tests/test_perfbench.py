@@ -5,11 +5,14 @@ cached stripe layouts) are only admissible if they keep fixed-seed runs
 byte-identical; these tests pin that property at the harness level.
 """
 
+import dataclasses
 import json
 import pathlib
 
-from repro.harness.perfbench import (WRITE_PATH_SCENARIOS,
-                                     run_datapath_bench)
+import pytest
+
+from repro.harness.perfbench import (WRITE_PATH_SCENARIOS, check_digests,
+                                     main, run_datapath_bench)
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -72,3 +75,109 @@ class TestRecordedResults:
                 for s in recorded["baseline"]["scenarios"]}
         for s in recorded["current"]["scenarios"]:
             assert s["digest"] == base[s["name"]], s["name"]
+
+
+class TestCheckDigests:
+    """``--check`` must fail loudly on any divergence — including a
+    scenario silently missing from the merged report and a reference
+    whose comparison set is empty."""
+
+    def _report(self):
+        return run_datapath_bench(fast=True, only=["seq_write"],
+                                  paired_tracing=False)
+
+    def test_matching_reference_passes(self, tmp_path):
+        report = self._report()
+        ref = tmp_path / "ref.json"
+        ref.write_text(json.dumps(report.to_json()))
+        assert check_digests(report, str(ref),
+                             expected_names=["seq_write"]) == []
+
+    def test_mismatch_reported_per_scenario(self, tmp_path):
+        report = self._report()
+        doctored = report.to_json()
+        doctored["scenarios"][0]["digest"] = "0" * 64
+        ref = tmp_path / "ref.json"
+        ref.write_text(json.dumps(doctored))
+        problems = check_digests(report, str(ref),
+                                 expected_names=["seq_write"])
+        assert len(problems) == 1
+        assert "seq_write" in problems[0]
+
+    def test_scenario_missing_from_report_is_a_mismatch(self, tmp_path):
+        """A worker result dropped from the merged report used to shrink
+        the comparison set and pass; it must fail instead."""
+        report = self._report()
+        ref = tmp_path / "ref.json"
+        ref.write_text(json.dumps(report.to_json()))
+        gutted = dataclasses.replace(report, scenarios=[])
+        problems = check_digests(gutted, str(ref))
+        assert len(problems) == 1
+        assert "missing from report" in problems[0]
+
+    def test_only_subset_not_flagged_as_missing(self, tmp_path):
+        """An ``--only`` run checked against the full committed report
+        must only compare the scenarios it was asked to run."""
+        report = self._report()
+        full = report.to_json()
+        full["scenarios"].append(
+            dict(full["scenarios"][0], name="multizone_write"))
+        ref = tmp_path / "ref.json"
+        ref.write_text(json.dumps(full))
+        assert check_digests(report, str(ref),
+                             expected_names=["seq_write"]) == []
+        problems = check_digests(report, str(ref))
+        assert any("multizone_write" in p and "missing" in p
+                   for p in problems)
+
+    def test_bench_style_reference_accepted(self, tmp_path):
+        """BENCH_datapath.json nests the report under ``current``; the
+        checker used to see an empty scenario set there and always
+        pass."""
+        report = self._report()
+        ref = tmp_path / "bench.json"
+        ref.write_text(json.dumps({"current": report.to_json()}))
+        assert check_digests(report, str(ref),
+                             expected_names=["seq_write"]) == []
+        doctored = report.to_json()
+        doctored["scenarios"][0]["digest"] = "0" * 64
+        ref.write_text(json.dumps({"current": doctored}))
+        assert check_digests(report, str(ref),
+                             expected_names=["seq_write"])
+
+    def test_empty_reference_never_passes(self, tmp_path):
+        report = self._report()
+        ref = tmp_path / "empty.json"
+        ref.write_text(json.dumps({"scenarios": []}))
+        problems = check_digests(report, str(ref))
+        assert problems and "no scenario digests" in problems[0]
+
+    def test_main_exits_nonzero_on_mismatch(self, tmp_path, capsys):
+        report = self._report()
+        doctored = report.to_json()
+        doctored["scenarios"][0]["digest"] = "0" * 64
+        ref = tmp_path / "ref.json"
+        ref.write_text(json.dumps(doctored))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--fast", "--quick", "--only", "seq_write",
+                  "--check", str(ref)])
+        assert excinfo.value.code == 1
+        out = capsys.readouterr().out
+        assert "DIGEST MISMATCH" in out and "seq_write" in out
+
+
+class TestParallelJobs:
+    def test_jobs_merge_matches_sequential(self):
+        """The by-name parallel merge reproduces the sequential report's
+        digests exactly, whatever order workers finish in."""
+        sequential = run_datapath_bench(
+            fast=True, only=["seq_write", "oltp_flush"],
+            paired_tracing=False)
+        parallel = run_datapath_bench(
+            fast=True, only=["seq_write", "oltp_flush"], jobs=2,
+            paired_tracing=False)
+        assert parallel.digest == sequential.digest
+        assert [s.name for s in parallel.scenarios] == \
+            [s.name for s in sequential.scenarios]
+        for a, b in zip(parallel.scenarios, sequential.scenarios):
+            assert a.digest == b.digest

@@ -404,6 +404,61 @@ class TestEventRecycling:
             sim.run()
             sim.recycle(fresh)
 
+    def test_recycle_rejects_timeout_still_on_heap(self, sim):
+        """A timeout triggered out-of-band still has its ``_fire`` entry on
+        the heap; pooling it would hand the entry's reference to the next
+        owner."""
+        timeout = sim.timeout(5.0)
+        timeout.succeed("early")
+        sim._now_queue.clear()  # drop the dispatch; the heap entry remains
+        with pytest.raises(SimulationError, match="still referenced"):
+            sim.recycle(timeout)
+
+    def test_recycle_rejects_event_pending_in_combinator(self, sim):
+        """A fired AnyOf child whose ``_on_child`` dispatch has not run yet
+        is still referenced from the combinator; recycling it would replay
+        the combinator callback against the event's next owner."""
+        winner, loser = sim.event(), sim.event()
+        chosen = sim.any_of([winner, loser])
+        winner.succeed("won")
+        # Fired and drained (succeed consumed the callback slot), but the
+        # queued ``_on_child(winner)`` still references the event.
+        with pytest.raises(SimulationError, match="still referenced"):
+            sim.recycle(winner)
+        sim.run()
+        assert chosen.triggered and chosen.value == "won"
+        sim.recycle(winner)  # reference consumed at dispatch
+
+    def test_recycle_rejects_pending_gather_child(self, sim):
+        child = sim.event()
+        sim.gather([child])
+        child.succeed()
+        with pytest.raises(SimulationError, match="still referenced"):
+            sim.recycle(child)
+        sim.run()
+        sim.recycle(child)
+
+    def test_recycle_rejects_pending_allof_child(self, sim):
+        child = sim.event()
+        sim.all_of([child])
+        child.succeed()
+        with pytest.raises(SimulationError, match="still referenced"):
+            sim.recycle(child)
+        sim.run()
+        sim.recycle(child)
+
+    def test_anyof_detach_releases_loser_for_recycling(self, sim):
+        """Losers detached by the AnyOf winner drop their registration, so
+        a later fire-and-drain makes them pool-eligible again."""
+        winner, loser = sim.event(), sim.event()
+        sim.any_of([winner, loser])
+        winner.succeed()
+        sim.run()
+        assert loser.refs == 0
+        loser.succeed()
+        sim.run()
+        sim.recycle(loser)  # must not raise
+
     def test_recycled_timeout_refires(self, sim):
         timeout = sim.timeout(1.0, "first")
         fired = []

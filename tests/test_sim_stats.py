@@ -95,6 +95,23 @@ class TestPercentilesBatch:
         with pytest.raises(ValueError, match="no latency samples"):
             LatencyStats().percentiles((50.0,))
 
+    def test_empty_request_on_empty_window(self):
+        """No samples AND no requested percentiles: nothing to resolve,
+        so the batch form returns an empty dict instead of raising."""
+        assert LatencyStats().percentiles(()) == {}
+
+    def test_empty_request_on_populated_window(self):
+        stats = LatencyStats()
+        stats.add(1.0)
+        assert stats.percentiles(()) == {}
+
+    def test_scalar_and_batch_raise_identically_on_empty(self):
+        stats = LatencyStats()
+        with pytest.raises(ValueError, match="no latency samples"):
+            stats.percentile(50.0)
+        with pytest.raises(ValueError, match="no latency samples"):
+            stats.percentiles((50.0,))
+
     def test_matches_scalar_percentile(self):
         stats = LatencyStats()
         stats.extend([5.0, 1.0, 3.0, 2.0, 4.0])
